@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"flexpath"
+)
+
+const testXML = `<lib>
+  <book id="b1"><chapter><para>xml streaming engines</para></chapter></book>
+  <book id="b2"><chapter><title>xml streaming</title><para>other</para></chapter></book>
+</lib>`
+
+func testSession(t *testing.T) (*session, *bytes.Buffer, *bytes.Buffer) {
+	t.Helper()
+	doc, err := flexpath.LoadString(testXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	return &session{
+		doc: doc, k: 5, algo: flexpath.Hybrid, scheme: flexpath.StructureFirst,
+		out: &out, errOut: &errOut,
+	}, &out, &errOut
+}
+
+const testQuery = `//book[./chapter/para[.contains("xml" and "streaming")]]`
+
+func TestSearchOutput(t *testing.T) {
+	s, out, _ := testSession(t)
+	if err := s.search(testQuery); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "id=b1") {
+		t.Errorf("output missing exact answer: %s", text)
+	}
+	if !strings.Contains(text, "relax=") {
+		t.Errorf("output missing relaxation column: %s", text)
+	}
+}
+
+func TestSearchJSON(t *testing.T) {
+	s, out, _ := testSession(t)
+	s.jsonOut = true
+	s.metrics = true
+	s.snippet = 40
+	if err := s.search(testQuery); err != nil {
+		t.Fatal(err)
+	}
+	var res jsonResult
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(res.Answers) == 0 || res.Answers[0].ID != "b1" {
+		t.Errorf("JSON answers wrong: %+v", res.Answers)
+	}
+	if res.Metrics == nil {
+		t.Error("metrics missing from JSON")
+	}
+	if res.Answers[0].Snippet == "" {
+		t.Error("snippet missing from JSON")
+	}
+	if res.Algorithm != "Hybrid" {
+		t.Errorf("algorithm = %q", res.Algorithm)
+	}
+}
+
+func TestExplainAndPlan(t *testing.T) {
+	s, out, _ := testSession(t)
+	if err := s.explain(testQuery); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "relaxation chain") {
+		t.Errorf("explain output: %s", out.String())
+	}
+	out.Reset()
+	if err := s.plan(testQuery); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "relaxations encoded") {
+		t.Errorf("plan output: %s", out.String())
+	}
+	if err := s.search("((("); err == nil {
+		t.Error("bad query accepted")
+	}
+}
+
+func TestREPL(t *testing.T) {
+	s, out, errOut := testSession(t)
+	input := strings.Join([]string{
+		`\h`,
+		`\k 2`,
+		`\algo dpo`,
+		`\scheme combined`,
+		testQuery,
+		`\metrics`,
+		`\json`,
+		testQuery,
+		`\explain ` + testQuery,
+		`\plan ` + testQuery,
+		`\k bogus`,
+		`\algo bogus`,
+		`\scheme bogus`,
+		`\nonsense`,
+		`not a query`,
+		`\q`,
+		`after quit is ignored`,
+	}, "\n")
+	done := make(chan struct{})
+	go func() {
+		s.repl(strings.NewReader(input))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("repl did not terminate")
+	}
+	if s.k != 2 || s.algo != flexpath.DPO || s.scheme != flexpath.Combined {
+		t.Errorf("repl state: k=%d algo=%v scheme=%v", s.k, s.algo, s.scheme)
+	}
+	if !strings.Contains(out.String(), "id=b1") {
+		t.Error("repl search produced no results")
+	}
+	e := errOut.String()
+	for _, want := range []string{"usage:", "unknown algorithm", "unknown command"} {
+		if !strings.Contains(e, want) {
+			t.Errorf("repl error output missing %q", want)
+		}
+	}
+}
+
+func TestAnalyzeCommand(t *testing.T) {
+	s, out, _ := testSession(t)
+	if err := s.analyze(testQuery); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "tuples-out") {
+		t.Errorf("analyze output: %s", out.String())
+	}
+	if err := s.analyze("((("); err == nil {
+		t.Error("bad query accepted")
+	}
+}

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"flexpath"
+)
+
+// handler serves the JSON API over a collection.
+type handler struct {
+	coll *flexpath.Collection
+	mux  *http.ServeMux
+}
+
+func newHandler(coll *flexpath.Collection) http.Handler {
+	h := &handler{coll: coll, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/search", h.search)
+	h.mux.HandleFunc("/relaxations", h.relaxations)
+	h.mux.HandleFunc("/plan", h.plan)
+	h.mux.HandleFunc("/stats", h.stats)
+	h.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n")) //nolint:errcheck
+	})
+	return h.mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // nothing to do about write errors here
+}
+
+func badRequest(w http.ResponseWriter, msg string) {
+	writeJSON(w, http.StatusBadRequest, errorBody{Error: msg})
+}
+
+// parseCommon extracts query, K, algorithm and scheme parameters.
+func parseCommon(r *http.Request) (*flexpath.Query, flexpath.SearchOptions, error) {
+	src := r.URL.Query().Get("q")
+	if src == "" {
+		return nil, flexpath.SearchOptions{}, errMissingQuery
+	}
+	q, err := flexpath.ParseQuery(src)
+	if err != nil {
+		return nil, flexpath.SearchOptions{}, err
+	}
+	opts := flexpath.SearchOptions{K: 10}
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		k, err := strconv.Atoi(ks)
+		if err != nil || k <= 0 || k > 100000 {
+			return nil, opts, errBadK
+		}
+		opts.K = k
+	}
+	if a := r.URL.Query().Get("algo"); a != "" {
+		algo, err := flexpath.ParseAlgorithm(a)
+		if err != nil {
+			return nil, opts, err
+		}
+		opts.Algorithm = algo
+	}
+	if s := r.URL.Query().Get("scheme"); s != "" {
+		scheme, err := flexpath.ParseScheme(s)
+		if err != nil {
+			return nil, opts, err
+		}
+		opts.Scheme = scheme
+	}
+	return q, opts, nil
+}
+
+var (
+	errMissingQuery = jsonError("missing q parameter")
+	errBadK         = jsonError("k must be a positive integer up to 100000")
+)
+
+type jsonError string
+
+func (e jsonError) Error() string { return string(e) }
+
+type searchAnswer struct {
+	Rank        int      `json:"rank"`
+	Doc         string   `json:"doc"`
+	Path        string   `json:"path"`
+	ID          string   `json:"id,omitempty"`
+	Structural  float64  `json:"structural"`
+	Keyword     float64  `json:"keyword"`
+	Relaxations int      `json:"relaxations"`
+	Relaxed     []string `json:"relaxed,omitempty"`
+	Snippet     string   `json:"snippet,omitempty"`
+}
+
+type searchResponse struct {
+	Query     string         `json:"query"`
+	Answers   []searchAnswer `json:"answers"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+}
+
+func (h *handler) search(w http.ResponseWriter, r *http.Request) {
+	q, opts, err := parseCommon(r)
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	withWhy := r.URL.Query().Get("why") == "1"
+	snippet := 0
+	if ss := r.URL.Query().Get("snippet"); ss != "" {
+		if n, err := strconv.Atoi(ss); err == nil && n > 0 && n <= 4096 {
+			snippet = n
+		}
+	}
+	start := time.Now()
+	answers, err := h.coll.Search(q, opts)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	resp := searchResponse{
+		Query:     q.String(),
+		ElapsedMS: float64(time.Since(start)) / 1e6,
+		Answers:   make([]searchAnswer, 0, len(answers)),
+	}
+	for i, a := range answers {
+		sa := searchAnswer{
+			Rank: i + 1, Doc: a.DocName, Path: a.Path, ID: a.ID,
+			Structural: a.Structural, Keyword: a.Keyword, Relaxations: a.Relaxations,
+		}
+		if withWhy {
+			sa.Relaxed = a.Relaxed
+		}
+		if snippet > 0 {
+			sa.Snippet = a.Snippet(snippet)
+		}
+		resp.Answers = append(resp.Answers, sa)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type relaxationsResponse struct {
+	Query string `json:"query"`
+	Docs  []struct {
+		Doc   string                    `json:"doc"`
+		Steps []flexpath.RelaxationStep `json:"steps"`
+	} `json:"docs"`
+}
+
+func (h *handler) relaxations(w http.ResponseWriter, r *http.Request) {
+	q, _, err := parseCommon(r)
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	resp := relaxationsResponse{Query: q.String()}
+	for _, name := range h.docNames() {
+		doc, _ := h.coll.Document(name)
+		steps, err := doc.Relaxations(q)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+			return
+		}
+		resp.Docs = append(resp.Docs, struct {
+			Doc   string                    `json:"doc"`
+			Steps []flexpath.RelaxationStep `json:"steps"`
+		}{Doc: name, Steps: steps})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *handler) plan(w http.ResponseWriter, r *http.Request) {
+	q, opts, err := parseCommon(r)
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	type planDoc struct {
+		Doc  string `json:"doc"`
+		Plan string `json:"plan"`
+	}
+	var out []planDoc
+	for _, name := range h.docNames() {
+		doc, _ := h.coll.Document(name)
+		p, err := doc.ExplainPlan(q, opts)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+			return
+		}
+		out = append(out, planDoc{Doc: name, Plan: p})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type statsResponse struct {
+	Documents int            `json:"documents"`
+	Elements  int            `json:"elements"`
+	PerDoc    map[string]int `json:"per_doc"`
+}
+
+func (h *handler) stats(w http.ResponseWriter, _ *http.Request) {
+	resp := statsResponse{
+		Documents: h.coll.Len(),
+		Elements:  h.coll.Nodes(),
+		PerDoc:    map[string]int{},
+	}
+	for _, name := range h.docNames() {
+		doc, _ := h.coll.Document(name)
+		resp.PerDoc[name] = doc.Nodes()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *handler) docNames() []string { return h.coll.Names() }

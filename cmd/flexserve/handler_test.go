@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"flexpath"
+)
+
+const serveXML = `<lib>
+  <book id="b1"><chapter><para>xml streaming engines</para></chapter></book>
+  <book id="b2"><chapter><title>xml streaming</title><para>x</para></chapter></book>
+</lib>`
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	doc, err := flexpath.LoadString(serveXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := flexpath.NewCollection()
+	if err := coll.Add("lib.xml", doc); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(coll))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	b := make([]byte, 64<<10)
+	for {
+		n, err := resp.Body.Read(b)
+		buf.Write(b[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp, []byte(buf.String())
+}
+
+const serveQuery = `//book[./chapter/para[.contains("xml" and "streaming")]]`
+
+func TestSearchEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, body := get(t, srv.URL+"/search?q="+escape(serveQuery)+"&k=5&why=1&snippet=40")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out searchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if len(out.Answers) != 2 {
+		t.Fatalf("answers = %d, want 2", len(out.Answers))
+	}
+	if out.Answers[0].ID != "b1" || out.Answers[0].Relaxations != 0 {
+		t.Errorf("top answer: %+v", out.Answers[0])
+	}
+	if out.Answers[1].Relaxations == 0 || len(out.Answers[1].Relaxed) == 0 {
+		t.Errorf("second answer should be relaxed with explanations: %+v", out.Answers[1])
+	}
+	if out.Answers[0].Snippet == "" {
+		t.Error("snippet missing")
+	}
+}
+
+func TestSearchEndpointErrors(t *testing.T) {
+	srv := testServer(t)
+	cases := []string{
+		"/search",                                       // missing q
+		"/search?q=" + escape("((("),                    // bad query
+		"/search?q=" + escape("//book") + "&k=0",        // bad k
+		"/search?q=" + escape("//book") + "&algo=bogus", // bad algo
+		"/search?q=" + escape("//book") + "&scheme=huh", // bad scheme
+		"/relaxations",                                  // missing q
+	}
+	for _, path := range cases {
+		resp, _ := get(t, srv.URL+path)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestRelaxationsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, body := get(t, srv.URL+"/relaxations?q="+escape(serveQuery))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out relaxationsResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Docs) != 1 || len(out.Docs[0].Steps) == 0 {
+		t.Errorf("relaxations: %+v", out)
+	}
+}
+
+func TestPlanAndStatsEndpoints(t *testing.T) {
+	srv := testServer(t)
+	resp, body := get(t, srv.URL+"/plan?q="+escape(serveQuery))
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "plan:") {
+		t.Errorf("plan endpoint: %d %s", resp.StatusCode, body)
+	}
+	resp, body = get(t, srv.URL+"/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Documents != 1 || st.Elements == 0 {
+		t.Errorf("stats: %+v", st)
+	}
+	resp, _ = get(t, srv.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Error("healthz failed")
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer(
+		" ", "%20", `"`, "%22", "[", "%5B", "]", "%5D", "/", "%2F", "<", "%3C", ">", "%3E", "#", "%23", "&", "%26", "+", "%2B",
+	)
+	return r.Replace(s)
+}

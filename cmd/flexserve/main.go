@@ -1,0 +1,67 @@
+// Command flexserve serves flexible top-K search over one or more XML
+// documents as a JSON HTTP API.
+//
+// Usage:
+//
+//	flexserve -addr :8080 data1.xml data2.xml
+//	flexserve -addr :8080 -dir corpus/
+//
+// Endpoints:
+//
+//	GET /search?q=QUERY&k=10&algo=hybrid&scheme=structure-first&why=1
+//	GET /relaxations?q=QUERY
+//	GET /plan?q=QUERY&k=10
+//	GET /stats
+//	GET /healthz
+//
+// Documents may be XML files or binary snapshots (detected by magic).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"flexpath"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dir := flag.String("dir", "", "load every .xml file in this directory")
+	flag.Parse()
+
+	coll := flexpath.NewCollection()
+	if *dir != "" {
+		c, err := flexpath.LoadCollectionDir(*dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		coll = c
+	}
+	for _, path := range flag.Args() {
+		doc, err := flexpath.LoadAuto(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := coll.Add(path, doc); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if coll.Len() == 0 {
+		fmt.Fprintln(os.Stderr, "flexserve: no documents given")
+		flag.Usage()
+		os.Exit(2)
+	}
+	log.Printf("serving %d documents (%d elements) on %s", coll.Len(), coll.Nodes(), *addr)
+
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      newHandler(coll),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 60 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,93 @@
+// Command xmarkgen generates XMark-style auction XML documents, the
+// dataset of the FleXPath paper's experiments.
+//
+// Usage:
+//
+//	xmarkgen -size 10MB -seed 42 -o auction.xml
+//
+// Sizes accept B/KB/MB/GB suffixes (powers of two).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"flexpath"
+	"flexpath/internal/xmark"
+)
+
+func main() {
+	size := flag.String("size", "1MB", "approximate document size (e.g. 512KB, 10MB)")
+	seed := flag.Int64("seed", 42, "generator seed; equal seeds give identical documents")
+	out := flag.String("o", "", "output file (default stdout)")
+	snapshot := flag.Bool("snapshot", false, "emit a binary document snapshot instead of XML (loads much faster)")
+	indexed := flag.Bool("indexed", false, "emit an indexed snapshot (tree + inverted index + statistics; fastest loads)")
+	flag.Parse()
+
+	bytes, err := parseSize(*size)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xmarkgen:", err)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xmarkgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	cfg := xmark.Config{TargetBytes: bytes, Seed: *seed}
+	if *indexed {
+		tree, err := xmark.Build(cfg)
+		if err == nil {
+			err = flexpath.NewDocument(tree).SaveIndexedSnapshot(w)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xmarkgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *snapshot {
+		tree, err := xmark.Build(cfg)
+		if err == nil {
+			err = tree.WriteBinary(w)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xmarkgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := xmark.Generate(w, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "xmarkgen:", err)
+		os.Exit(1)
+	}
+}
+
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "GB"):
+		mult, s = 1<<30, s[:len(s)-2]
+	case strings.HasSuffix(s, "MB"):
+		mult, s = 1<<20, s[:len(s)-2]
+	case strings.HasSuffix(s, "KB"):
+		mult, s = 1<<10, s[:len(s)-2]
+	case strings.HasSuffix(s, "B"):
+		s = s[:len(s)-1]
+	}
+	n, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	return int64(n * float64(mult)), nil
+}

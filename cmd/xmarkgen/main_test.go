@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"1MB", 1 << 20, true},
+		{"10MB", 10 << 20, true},
+		{"512KB", 512 << 10, true},
+		{"1GB", 1 << 30, true},
+		{"2048B", 2048, true},
+		{"4096", 4096, true},
+		{"1.5MB", 1 << 20 * 3 / 2, true},
+		{" 2 MB ", 2 << 20, true},
+		{"10mb", 10 << 20, true},
+		{"", 0, false},
+		{"abc", 0, false},
+		{"-3MB", 0, false},
+		{"0", 0, false},
+	}
+	for _, c := range cases {
+		got, err := parseSize(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("parseSize(%q) succeeded with %d", c.in, got)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package flexpath
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Collection is a set of queryable documents searched as one corpus — the
+// paper's data model is "a data tree (i.e., an XML document collection)".
+// Each member document keeps its own indexes, statistics and relaxation
+// chains (penalties are per-document properties: the same query may relax
+// differently over differently-shaped documents); a collection search
+// merges the per-document rankings into one global top-K.
+type Collection struct {
+	names []string
+	docs  []*Document
+}
+
+// NewCollection returns an empty collection.
+func NewCollection() *Collection { return &Collection{} }
+
+// Add inserts a document under a name (typically its file name). Names
+// appear in CollectionAnswer and must be unique.
+func (c *Collection) Add(name string, doc *Document) error {
+	for _, n := range c.names {
+		if n == name {
+			return fmt.Errorf("flexpath: duplicate document name %q", name)
+		}
+	}
+	c.names = append(c.names, name)
+	c.docs = append(c.docs, doc)
+	return nil
+}
+
+// AddFile loads and adds the XML document at path, named by the path.
+func (c *Collection) AddFile(path string) error {
+	doc, err := LoadFile(path)
+	if err != nil {
+		return err
+	}
+	return c.Add(path, doc)
+}
+
+// Len returns the number of documents.
+func (c *Collection) Len() int { return len(c.docs) }
+
+// Nodes returns the total number of element nodes across all documents.
+func (c *Collection) Nodes() int {
+	total := 0
+	for _, d := range c.docs {
+		total += d.Nodes()
+	}
+	return total
+}
+
+// Names returns the document names in insertion order.
+func (c *Collection) Names() []string {
+	return append([]string(nil), c.names...)
+}
+
+// Document returns the named document, if present.
+func (c *Collection) Document(name string) (*Document, bool) {
+	for i, n := range c.names {
+		if n == name {
+			return c.docs[i], true
+		}
+	}
+	return nil, false
+}
+
+// CollectionAnswer is an Answer tagged with the document it came from.
+type CollectionAnswer struct {
+	Answer
+	// DocName is the name the document was added under.
+	DocName string
+}
+
+// Search runs the query against every document and merges the rankings
+// into one global top-K under the chosen scheme. Structural scores are
+// comparable across documents because they are derived from the same
+// query's predicate weights; penalties (and hence relaxed answers'
+// scores) reflect each document's own statistics, as the paper intends
+// ("this weight may be ... computed by analyzing the input document").
+func (c *Collection) Search(q *Query, opts SearchOptions) ([]CollectionAnswer, error) {
+	if opts.K <= 0 {
+		opts.K = 10
+	}
+	var all []CollectionAnswer
+	for i, d := range c.docs {
+		// Each document needs its own metrics sink; accumulate.
+		sub := opts
+		var m Metrics
+		if opts.Metrics != nil {
+			sub.Metrics = &m
+		}
+		answers, err := d.Search(q, sub)
+		if err != nil {
+			return nil, fmt.Errorf("flexpath: document %q: %w", c.names[i], err)
+		}
+		if opts.Metrics != nil {
+			opts.Metrics.add(m)
+		}
+		for _, a := range answers {
+			all = append(all, CollectionAnswer{Answer: a, DocName: c.names[i]})
+		}
+	}
+	scheme := opts.Scheme.rank()
+	sort.SliceStable(all, func(i, j int) bool {
+		si := rankScore(all[i].Answer)
+		sj := rankScore(all[j].Answer)
+		if cmp := si.Compare(sj, scheme); cmp != 0 {
+			return cmp > 0
+		}
+		if all[i].DocName != all[j].DocName {
+			return all[i].DocName < all[j].DocName
+		}
+		return all[i].node < all[j].node
+	})
+	if len(all) > opts.K {
+		all = all[:opts.K]
+	}
+	return all, nil
+}
+
+func (m *Metrics) add(o Metrics) {
+	m.QueriesEvaluated += o.QueriesEvaluated
+	m.PlansRun += o.PlansRun
+	if o.RelaxationsEncoded > m.RelaxationsEncoded {
+		m.RelaxationsEncoded = o.RelaxationsEncoded
+	}
+	m.Restarts += o.Restarts
+	m.TuplesGenerated += o.TuplesGenerated
+	m.TuplesPruned += o.TuplesPruned
+	m.SortedTuples += o.SortedTuples
+	m.Buckets += o.Buckets
+	m.PairsMaterialized += o.PairsMaterialized
+}
+
+// LoadCollectionFiles builds a collection from XML files.
+func LoadCollectionFiles(paths ...string) (*Collection, error) {
+	c := NewCollection()
+	for _, p := range paths {
+		if err := c.AddFile(p); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// LoadCollectionDir builds a collection from every .xml file directly
+// inside dir.
+func LoadCollectionDir(dir string) (*Collection, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	c := NewCollection()
+	for _, e := range entries {
+		if e.IsDir() || len(e.Name()) < 4 || e.Name()[len(e.Name())-4:] != ".xml" {
+			continue
+		}
+		if err := c.AddFile(dir + string(os.PathSeparator) + e.Name()); err != nil {
+			return nil, err
+		}
+	}
+	if c.Len() == 0 {
+		return nil, fmt.Errorf("flexpath: no .xml files in %s", dir)
+	}
+	return c, nil
+}

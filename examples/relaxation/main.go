@@ -1,0 +1,84 @@
+// Relaxation: a tour of the formal machinery of §3 of the paper — the
+// logical form of a tree pattern query, its closure under the inference
+// rules, the unique core, the four relaxation operators, and the
+// enumerated relaxation space with its containment structure.
+//
+// Run with: go run ./examples/relaxation
+package main
+
+import (
+	"fmt"
+
+	"flexpath/internal/core"
+	"flexpath/internal/tpq"
+)
+
+func main() {
+	q1 := tpq.MustParse(
+		`//article[./section[./algorithm and ./paragraph[.contains("XML" and "streaming")]]]`)
+
+	fmt.Println("=== Query Q1 (Figure 1a) ===")
+	fmt.Println(q1)
+
+	fmt.Println("\n=== Logical form (Figure 2) ===")
+	for _, p := range tpq.Logical(q1).List() {
+		fmt.Println(" ", p.Key())
+	}
+
+	fmt.Println("\n=== Closure (Figure 4): saturated under the inference rules ===")
+	cl := tpq.ClosureOf(q1)
+	for _, p := range cl.List() {
+		derived := !tpq.Logical(q1).Has(p)
+		mark := " "
+		if derived {
+			mark = "+"
+		}
+		fmt.Printf(" %s %s\n", mark, p.Key())
+	}
+
+	fmt.Println("\n=== Dropping pc($2,$3) and ad($2,$3); the core is Q3 (Figure 5) ===")
+	reduced := cl.Minus(
+		tpq.Pred{Kind: tpq.PredPC, X: 2, Y: 3},
+		tpq.Pred{Kind: tpq.PredAD, X: 2, Y: 3},
+	)
+	coreSet := tpq.Core(reduced)
+	for _, p := range coreSet.List() {
+		fmt.Println(" ", p.Key())
+	}
+	q3, err := tpq.TreeFromPreds(coreSet, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("reconstructed:", q3)
+
+	fmt.Println("\n=== The four operators on Q1 ===")
+	for _, op := range core.ApplicableOps(q1) {
+		relaxed, err := op.Apply(q1)
+		if err != nil {
+			continue
+		}
+		fmt.Printf(" %-28s -> %s\n", op, relaxed)
+	}
+
+	fmt.Println("\n=== Relaxation space (BFS, depth <= 2) ===")
+	space := core.EnumerateRelaxations(q1, 2)
+	fmt.Printf("%d distinct relaxations within two operator applications\n", len(space)-1)
+	for _, r := range space {
+		if r.Depth > 1 {
+			break
+		}
+		fmt.Printf(" depth %d via %-30v %s\n", r.Depth, r.Ops, r.Query)
+	}
+
+	full := core.EnumerateRelaxations(q1, -1)
+	fmt.Printf("\nfull space size: %d queries\n", len(full))
+
+	fmt.Println("\n=== Containment sanity: every relaxation contains Q1 ===")
+	bad := 0
+	for _, r := range full[1:] {
+		if !tpq.ContainedIn(q1, r.Query) {
+			bad++
+		}
+	}
+	fmt.Printf("violations: %d (Theorem 2 soundness)\n", bad)
+}

@@ -1,0 +1,41 @@
+package flexpath
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example main and checks it exits cleanly
+// with plausible output. Skipped with -short (each invocation pays a go
+// build).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test skipped in -short mode")
+	}
+	cases := []struct {
+		dir  string
+		args []string
+		want string
+	}{
+		{"./examples/quickstart", nil, "relaxation chain"},
+		{"./examples/articles", nil, "FleXPath query"},
+		{"./examples/auction", []string{"-mb", "0.25", "-k", "20"}, "relaxation chain"},
+		{"./examples/relaxation", nil, "violations: 0"},
+		{"./examples/corpus", nil, "type-hierarchy widening"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			args := append([]string{"run", c.dir}, c.args...)
+			out, err := exec.Command("go", args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", c.dir, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Errorf("%s output missing %q:\n%.2000s", c.dir, c.want, out)
+			}
+		})
+	}
+}

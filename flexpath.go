@@ -1,0 +1,611 @@
+// Package flexpath is a Go implementation of FleXPath (Amer-Yahia,
+// Lakshmanan, Pandit; SIGMOD 2004): flexible structure and full-text
+// querying for XML.
+//
+// FleXPath treats the structural part of an XPath query as a template
+// rather than a hard constraint. A tree pattern query with full-text
+// contains predicates is evaluated against the space of its relaxations —
+// parent-child edges generalized to ancestor-descendant, subtrees promoted
+// past intermediate nodes, optional leaves deleted, contains predicates
+// promoted to wider contexts — and answers are ranked by how much of the
+// original structure they preserve (structural score) together with their
+// full-text relevance (keyword score).
+//
+// Basic use:
+//
+//	doc, err := flexpath.LoadFile("articles.xml")
+//	q, err := flexpath.ParseQuery(
+//	    `//article[./section[./paragraph and .contains("XML" and "streaming")]]`)
+//	answers, err := doc.Search(q, flexpath.SearchOptions{K: 10})
+//
+// The paper's three top-K algorithms are provided: DPO evaluates
+// increasingly relaxed queries one at a time, while SSO and Hybrid encode
+// a statically chosen set of relaxations into a single scored join plan
+// (Hybrid additionally avoids SSO's score resorting via predicate-set
+// buckets). All three return the same answers; they differ in evaluation
+// cost. A fourth strategy, DataRelaxation, reproduces the baseline the
+// paper's related work dismisses.
+package flexpath
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"flexpath/internal/core"
+	"flexpath/internal/exec"
+	"flexpath/internal/ir"
+	"flexpath/internal/rank"
+	"flexpath/internal/stats"
+	"flexpath/internal/tpq"
+	"flexpath/internal/xmltree"
+)
+
+// Algorithm selects the top-K evaluation algorithm.
+type Algorithm int
+
+const (
+	// Hybrid is the default: SSO's single-plan evaluation with
+	// bucketized (never resorted) intermediate answers.
+	Hybrid Algorithm = iota
+	// SSO encodes estimator-chosen relaxations into a single plan with
+	// score-sorted intermediate answers.
+	SSO
+	// DPO evaluates one relaxation at a time until K answers accumulate.
+	DPO
+	// DataRelaxation is the baseline strategy the paper surveys (§7,
+	// APPROXML): materialize the document's shortcut-edge closure and
+	// evaluate the original query over it. It fails on large documents
+	// (the materialization exceeds its budget), reproducing the
+	// behavior the paper reports for this strategy.
+	DataRelaxation
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case SSO:
+		return "SSO"
+	case DPO:
+		return "DPO"
+	case DataRelaxation:
+		return "DataRelaxation"
+	default:
+		return "Hybrid"
+	}
+}
+
+// ParseAlgorithm parses an algorithm name.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "hybrid":
+		return Hybrid, nil
+	case "sso":
+		return SSO, nil
+	case "dpo":
+		return DPO, nil
+	case "datarelaxation", "datarelax", "data":
+		return DataRelaxation, nil
+	}
+	return 0, fmt.Errorf("flexpath: unknown algorithm %q", s)
+}
+
+// Scheme selects how structural and keyword scores combine (§4.3 of the
+// paper).
+type Scheme int
+
+const (
+	// StructureFirst ranks by (structural, keyword) lexicographically.
+	StructureFirst Scheme = iota
+	// KeywordFirst ranks by (keyword, structural) lexicographically.
+	KeywordFirst
+	// Combined ranks by the sum of the two scores.
+	Combined
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string { return s.rank().String() }
+
+func (s Scheme) rank() rank.Scheme {
+	switch s {
+	case KeywordFirst:
+		return rank.KeywordFirst
+	case Combined:
+		return rank.Combined
+	default:
+		return rank.StructureFirst
+	}
+}
+
+// ParseScheme parses a scheme name ("structure-first", "keyword-first",
+// "combined").
+func ParseScheme(s string) (Scheme, error) {
+	r, err := rank.ParseScheme(s)
+	if err != nil {
+		return 0, err
+	}
+	switch r {
+	case rank.KeywordFirst:
+		return KeywordFirst, nil
+	case rank.Combined:
+		return Combined, nil
+	default:
+		return StructureFirst, nil
+	}
+}
+
+// Weights assigns predicate weights for scoring. The zero value means
+// uniform unit weights, the assignment used throughout the paper.
+type Weights struct {
+	// Structural is the weight of each structural predicate (default 1).
+	Structural float64
+	// Contains is the weight of each contains predicate (default 1, the
+	// paper's fixed choice).
+	Contains float64
+}
+
+func (w Weights) rank() rank.Weights {
+	rw := rank.UniformWeights()
+	if w.Structural > 0 {
+		rw.Structural = w.Structural
+	}
+	if w.Contains > 0 {
+		rw.Contains = w.Contains
+	}
+	return rw
+}
+
+// Query is a compiled tree pattern query.
+type Query struct {
+	q   *tpq.Query
+	src string
+}
+
+// ParseQuery compiles a query in the mini-XPath syntax, e.g.
+//
+//	//article[.//algorithm and ./section[./paragraph and
+//	          .contains("XML" and "streaming")]]
+//
+// Predicates are combined with "and"; ".contains(expr)" performs full-text
+// search (supporting "a" and "b", or, quoted phrases, and near(a b, 5)
+// proximity); "@attr op value" compares attributes. Answers are matches of
+// the last step of the outer path.
+func ParseQuery(src string) (*Query, error) {
+	q, err := tpq.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{q: q, src: src}, nil
+}
+
+// MustParseQuery is ParseQuery but panics on error.
+func MustParseQuery(src string) *Query {
+	q, err := ParseQuery(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Minimize returns the unique minimal equivalent query (the core of the
+// query's closure, Theorem 1 of the paper): redundant structural and
+// contains predicates are removed. Minimization never changes a query's
+// answers.
+func (q *Query) Minimize() (*Query, error) {
+	minimal, err := tpq.Minimize(q.q)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{q: minimal, src: q.src}, nil
+}
+
+// String returns the parsed query rendered back to query syntax.
+func (q *Query) String() string { return q.q.String() }
+
+// Vars returns the number of query variables.
+func (q *Query) Vars() int { return q.q.Size() }
+
+// Document is a queryable XML document: the parsed tree plus the full-text
+// index and the statistics the ranking and estimation layers need. It is
+// safe for concurrent searches.
+type Document struct {
+	tree  *xmltree.Document
+	index *ir.Index
+	stats *stats.Stats
+	est   *stats.Estimator
+	ev    *exec.Evaluator
+
+	mu     sync.Mutex
+	chains map[string]*core.Chain
+}
+
+// Load parses an XML document from r and builds its indexes.
+func Load(r io.Reader) (*Document, error) {
+	t, err := xmltree.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewDocument(t), nil
+}
+
+// LoadString parses an XML document held in a string.
+func LoadString(s string) (*Document, error) {
+	t, err := xmltree.ParseString(s)
+	if err != nil {
+		return nil, err
+	}
+	return NewDocument(t), nil
+}
+
+// LoadFile parses the XML document at path.
+func LoadFile(path string) (*Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// SaveSnapshot writes a binary snapshot of the parsed document. Restoring
+// a snapshot with LoadSnapshot skips XML parsing, the dominant cost of
+// loading large documents; the search indexes are rebuilt on load.
+func (d *Document) SaveSnapshot(w io.Writer) error {
+	return d.tree.WriteBinary(w)
+}
+
+// SaveSnapshotFile writes a binary snapshot to path.
+func (d *Document) SaveSnapshotFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.SaveSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadSnapshot restores a document from a SaveSnapshot stream.
+func LoadSnapshot(r io.Reader) (*Document, error) {
+	t, err := xmltree.ReadBinary(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewDocument(t), nil
+}
+
+// LoadSnapshotFile restores a document from a snapshot file.
+func LoadSnapshotFile(path string) (*Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadSnapshot(f)
+}
+
+// LoadAuto loads path as a plain or indexed binary snapshot when it
+// carries a snapshot magic, and as XML otherwise.
+func LoadAuto(path string) (*Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var magic [4]byte
+	n, err := f.Read(magic[:])
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	switch {
+	case n == 4 && string(magic[:]) == "FXT1":
+		return LoadSnapshot(f)
+	case n == 4 && string(magic[:]) == "FXP2":
+		return LoadIndexedSnapshot(f)
+	}
+	return Load(f)
+}
+
+// DocumentOptions configures index construction.
+type DocumentOptions struct {
+	// BM25 selects Okapi BM25 term weighting for keyword scores instead
+	// of the default tf-idf. Match sets are identical; only keyword
+	// scores (and thus keyword-first / combined rankings) differ.
+	BM25 bool
+}
+
+// LoadWithOptions is Load with explicit index options.
+func LoadWithOptions(r io.Reader, o DocumentOptions) (*Document, error) {
+	t, err := xmltree.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return newDocument(t, o), nil
+}
+
+// NewDocument wraps an already-parsed tree (e.g. one produced by the
+// xmark generator's Build) with the indexes searching needs.
+func NewDocument(t *xmltree.Document) *Document {
+	return newDocument(t, DocumentOptions{})
+}
+
+func newDocument(t *xmltree.Document, o DocumentOptions) *Document {
+	iopt := ir.IndexOptions{}
+	if o.BM25 {
+		iopt.Scoring = ir.ScoringBM25
+	}
+	ix := ir.NewIndexOptions(t, iopt)
+	st := stats.Collect(t)
+	return &Document{
+		tree:   t,
+		index:  ix,
+		stats:  st,
+		est:    stats.NewEstimator(st, ix),
+		ev:     exec.NewEvaluator(t, ix),
+		chains: make(map[string]*core.Chain),
+	}
+}
+
+// Nodes returns the number of element nodes.
+func (d *Document) Nodes() int { return d.tree.Len() }
+
+// Tree exposes the underlying document tree (read-only).
+func (d *Document) Tree() *xmltree.Document { return d.tree }
+
+// Answer is one ranked search result.
+type Answer struct {
+	// Path is the root-to-answer tag path, e.g. "/site/regions/asia/item".
+	Path string
+	// Tag is the answer element's tag.
+	Tag string
+	// ID is the answer element's id attribute, when present.
+	ID string
+	// Structural and Keyword are the answer's two score components.
+	Structural float64
+	Keyword    float64
+	// Relaxations is the relaxation level that admitted the answer
+	// (0 = exact match of the original query).
+	Relaxations int
+	// Relaxed describes the relaxations this answer needed (why it is
+	// not an exact match), cheapest first. Populated by the SSO and
+	// Hybrid algorithms; DPO reports only the level.
+	Relaxed []string
+
+	node xmltree.NodeID
+	doc  *Document
+	expr ir.Expr
+}
+
+// Snippet returns up to n characters of the answer subtree's text,
+// centered on the first occurrence of the query's full-text terms when
+// the query has a contains predicate.
+func (a Answer) Snippet(n int) string {
+	if a.expr != nil {
+		return a.doc.index.Snippet(a.node, a.expr, n)
+	}
+	s := a.doc.tree.SubtreeText(a.node)
+	if len(s) > n {
+		s = s[:n] + "…"
+	}
+	return s
+}
+
+// XML serializes the answer element.
+func (a Answer) XML() string {
+	var sb strings.Builder
+	_ = a.doc.tree.WriteXML(&sb, a.node)
+	return sb.String()
+}
+
+// Metrics reports the work a search performed; see the paper's §6 for how
+// these counters separate the algorithms.
+type Metrics struct {
+	QueriesEvaluated   int
+	PlansRun           int
+	RelaxationsEncoded int
+	Restarts           int
+	TuplesGenerated    int
+	TuplesPruned       int
+	SortedTuples       int
+	Buckets            int
+	PairsMaterialized  int
+}
+
+// SearchOptions configures Search. The zero value asks for the top 10
+// answers with the Hybrid algorithm under the structure-first scheme.
+type SearchOptions struct {
+	K int
+	// Offset skips the first Offset answers of the ranking (pagination):
+	// the returned slice covers ranks Offset+1 .. Offset+K.
+	Offset    int
+	Algorithm Algorithm
+	Scheme    Scheme
+	Weights   Weights
+	// Parallel fans join-plan execution out over this many goroutines;
+	// 0 or 1 runs sequentially. Results are identical either way.
+	Parallel int
+	// Hierarchy maps tags to their supertype (§3.4 of the paper). When
+	// set, a query node constrained to a tag also matches elements whose
+	// tag is any transitive subtype: querying //publication[...] with
+	// {"article": "publication"} matches article elements too.
+	Hierarchy map[string]string
+	// Metrics, when non-nil, receives work counters.
+	Metrics *Metrics
+}
+
+// Search returns the top-K answers of q over the document under the
+// paper's relaxation semantics: exact matches first, then answers of
+// increasingly relaxed versions of the query, ranked by the selected
+// scheme.
+func (d *Document) Search(q *Query, opts SearchOptions) ([]Answer, error) {
+	if opts.K <= 0 {
+		opts.K = 10
+	}
+	if opts.Offset < 0 {
+		opts.Offset = 0
+	}
+	chain, err := d.chainH(q, opts.Weights, opts.Hierarchy)
+	if err != nil {
+		return nil, err
+	}
+	topts := topkOptions(opts)
+	var results []topkResult
+	switch opts.Algorithm {
+	case DPO:
+		results = runDPO(d, chain, topts)
+	case SSO:
+		results = runSSO(d, chain, topts)
+	case DataRelaxation:
+		results, err = runDataRelax(d, chain, topts)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		results = runHybrid(d, chain, topts)
+	}
+	if opts.Metrics != nil {
+		*opts.Metrics = topts.export()
+	}
+	if opts.Offset > 0 {
+		if opts.Offset >= len(results) {
+			results = nil
+		} else {
+			results = results[opts.Offset:]
+		}
+	}
+	var snippetExpr ir.Expr
+	for i := range q.q.Nodes {
+		if len(q.q.Nodes[i].Contains) > 0 {
+			snippetExpr = q.q.Nodes[i].Contains[0]
+			break
+		}
+	}
+	answers := make([]Answer, len(results))
+	for i, r := range results {
+		id, _ := d.tree.Attr(r.Node, "id")
+		answers[i] = Answer{
+			Path:        d.tree.Path(r.Node),
+			Tag:         d.tree.TagName(r.Node),
+			ID:          id,
+			Structural:  r.Score.SS,
+			Keyword:     r.Score.KS,
+			Relaxations: r.Relaxations,
+			Relaxed:     r.Missed,
+			node:        r.Node,
+			doc:         d,
+			expr:        snippetExpr,
+		}
+	}
+	return answers, nil
+}
+
+// RelaxationStep describes one level of a query's relaxation chain.
+type RelaxationStep struct {
+	// Level is the 1-based chain position.
+	Level int
+	// Description names the relaxation operator applied, e.g.
+	// "generalize edge description/parlist".
+	Description string
+	// Penalty is the structural score lost by this relaxation.
+	Penalty float64
+	// Score is the structural score of answers first admitted here.
+	Score float64
+	// Query is the relaxed query.
+	Query string
+}
+
+// Relaxations returns the query's full relaxation chain over this
+// document: the ordered sequence of structure/contains relaxations, from
+// cheapest to most drastic, with their penalties. Level 0 (the exact
+// query) is not included.
+func (d *Document) Relaxations(q *Query) ([]RelaxationStep, error) {
+	chain, err := d.chain(q, Weights{})
+	if err != nil {
+		return nil, err
+	}
+	steps := make([]RelaxationStep, len(chain.Steps))
+	for i, s := range chain.Steps {
+		steps[i] = RelaxationStep{
+			Level:       i + 1,
+			Description: s.Desc,
+			Penalty:     s.Penalty,
+			Score:       s.SS,
+			Query:       s.Query.String(),
+		}
+	}
+	return steps, nil
+}
+
+// ExplainPlan returns a human-readable description of the evaluation SSO
+// and Hybrid would perform for the query under the given options: which
+// relaxations the selectivity estimator decides to encode and the shape
+// of the scored join plan.
+func (d *Document) ExplainPlan(q *Query, opts SearchOptions) (string, error) {
+	if opts.K <= 0 {
+		opts.K = 10
+	}
+	chain, err := d.chainH(q, opts.Weights, opts.Hierarchy)
+	if err != nil {
+		return "", err
+	}
+	b := topkOptions(opts)
+	return explainPlan(d, chain, b)
+}
+
+// AnalyzePlan executes the plan the Hybrid algorithm would run for the
+// query and returns a per-join-step trace: candidate list sizes,
+// intermediate tuple counts, pruning and bucket activity (an EXPLAIN
+// ANALYZE for flexible queries).
+func (d *Document) AnalyzePlan(q *Query, opts SearchOptions) (string, error) {
+	if opts.K <= 0 {
+		opts.K = 10
+	}
+	chain, err := d.chainH(q, opts.Weights, opts.Hierarchy)
+	if err != nil {
+		return "", err
+	}
+	b := topkOptions(opts)
+	return analyzePlan(d, chain, b)
+}
+
+func (d *Document) chain(q *Query, w Weights) (*core.Chain, error) {
+	return d.chainH(q, w, nil)
+}
+
+func (d *Document) chainH(q *Query, w Weights, hierarchy map[string]string) (*core.Chain, error) {
+	rw := w.rank()
+	hkey := ""
+	var h *tpq.Hierarchy
+	if len(hierarchy) > 0 {
+		pairs := make([]string, 0, len(hierarchy))
+		for t, s := range hierarchy {
+			pairs = append(pairs, t+">"+s)
+		}
+		sort.Strings(pairs)
+		hkey = strings.Join(pairs, ";")
+		h = tpq.NewHierarchy(hierarchy)
+	}
+	key := fmt.Sprintf("%s|%g|%g|%s", q.q.Canon(), rw.Structural, rw.Contains, hkey)
+	d.mu.Lock()
+	c, ok := d.chains[key]
+	d.mu.Unlock()
+	if ok {
+		return c, nil
+	}
+	c, err := core.BuildChainH(d.tree, d.index, d.stats, rw, q.q, h)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.chains[key] = c
+	d.mu.Unlock()
+	return c, nil
+}

@@ -1,0 +1,3 @@
+module flexpath
+
+go 1.22

@@ -1,0 +1,178 @@
+package flexpath
+
+import (
+	"testing"
+
+	"flexpath/internal/inex"
+)
+
+// inexDoc builds the heterogeneous article corpus once.
+func inexDoc(t testing.TB, articles int, seed int64) *Document {
+	t.Helper()
+	tree, err := inex.Build(inex.Config{Articles: articles, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewDocument(tree)
+}
+
+const inexQ1 = `//article[./section[./algorithm and ./paragraph[.contains("xml" and "streaming")]]]`
+
+// TestInexLadderPartition reproduces the paper's introduction on a
+// synthetic INEX-like corpus: the Q1..Q6 ladder admits strictly growing
+// answer sets, and FleXPath's single flexible query covers the whole
+// ladder with decreasing structural scores.
+func TestInexLadderPartition(t *testing.T) {
+	doc := inexDoc(t, 300, 42)
+	ladder := []string{
+		inexQ1,
+		`//article[./section[./algorithm and ./paragraph and .contains("xml" and "streaming")]]`,
+		`//article[.//algorithm and ./section[./paragraph[.contains("xml" and "streaming")]]]`,
+		`//article[.//algorithm and ./section[./paragraph and .contains("xml" and "streaming")]]`,
+		`//article[./section[./paragraph and .contains("xml" and "streaming")]]`,
+		`//article[.contains("xml" and "streaming")]`,
+	}
+	var counts []int
+	prevSets := map[string]map[string]bool{}
+	_ = prevSets
+	var prev map[string]bool
+	for li, src := range ladder {
+		q := MustParseQuery(src)
+		answers, err := doc.Search(q, SearchOptions{K: 400})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := map[string]bool{}
+		for _, a := range answers {
+			if a.Relaxations == 0 {
+				exact[a.ID] = true
+			}
+		}
+		counts = append(counts, len(exact))
+		// Containment between comparable ladder members: Q1 ⊆ Q2 ⊆ Q4 ⊆
+		// Q5 ⊆ Q6 and Q1 ⊆ Q3 ⊆ Q4; adjacent steps here are comparable
+		// except Q2→Q3.
+		if li > 0 && li != 2 {
+			for id := range prev {
+				if !exact[id] {
+					t.Errorf("ladder %d lost answer %s of ladder %d", li, id, li-1)
+				}
+			}
+		}
+		if li != 1 { // after Q2, switch comparison base for the Q3 branch
+			prev = exact
+		}
+	}
+	if !(counts[0] < counts[3] && counts[3] <= counts[4] && counts[4] < counts[5]) {
+		t.Errorf("ladder counts not strictly growing where expected: %v", counts)
+	}
+	t.Logf("ladder exact counts: %v", counts)
+
+	// One flexible Q1 search covers the ladder.
+	answers, err := doc.Search(MustParseQuery(inexQ1), SearchOptions{K: counts[5]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) < counts[5] {
+		t.Errorf("flexible search found %d answers, ladder end has %d", len(answers), counts[5])
+	}
+	maxLevel := 0
+	for _, a := range answers {
+		if a.Relaxations > maxLevel {
+			maxLevel = a.Relaxations
+		}
+	}
+	if maxLevel < 2 {
+		t.Errorf("flexible search used at most %d relaxation levels; heterogeneity lost", maxLevel)
+	}
+}
+
+// TestInexAlgorithmsAgree: SSO and Hybrid agree exactly on the
+// heterogeneous corpus across schemes; DPO's answer sets match level by
+// level.
+func TestInexAlgorithmsAgree(t *testing.T) {
+	doc := inexDoc(t, 200, 7)
+	q := MustParseQuery(inexQ1)
+	for _, scheme := range []Scheme{StructureFirst, KeywordFirst, Combined} {
+		sso, err := doc.Search(q, SearchOptions{K: 30, Algorithm: SSO, Scheme: scheme})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hyb, err := doc.Search(q, SearchOptions{K: 30, Algorithm: Hybrid, Scheme: scheme})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sso) != len(hyb) {
+			t.Fatalf("%v: SSO %d vs Hybrid %d answers", scheme, len(sso), len(hyb))
+		}
+		for i := range sso {
+			if sso[i].Structural != hyb[i].Structural || sso[i].Keyword != hyb[i].Keyword {
+				t.Errorf("%v: rank %d scores differ: %+v vs %+v", scheme, i, sso[i], hyb[i])
+			}
+		}
+	}
+	// DPO under structure-first: same per-level answer sets as SSO.
+	dpo, err := doc.Search(q, SearchOptions{K: 30, Algorithm: DPO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sso, err := doc.Search(q, SearchOptions{K: 30, Algorithm: SSO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpoIDs := map[string]int{}
+	for _, a := range dpo {
+		dpoIDs[a.ID] = a.Relaxations
+	}
+	for _, a := range sso {
+		if lvl, ok := dpoIDs[a.ID]; ok && lvl != a.Relaxations {
+			t.Errorf("answer %s: DPO level %d, SSO level %d", a.ID, lvl, a.Relaxations)
+		}
+	}
+}
+
+// TestInexHierarchyExtension: querying for a supertype finds subtype
+// elements on the INEX corpus.
+func TestInexHierarchyExtension(t *testing.T) {
+	doc := inexDoc(t, 100, 3)
+	// subsection is (by our synthetic hierarchy) a subtype of section.
+	q := MustParseQuery(`//article[./section/subsection]`)
+	plain, err := doc.Search(q, SearchOptions{K: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With "subsection" a subtype of "section", //article[./section/section]
+	// style queries widen. Here: ask for articles with a section inside a
+	// section — impossible without the hierarchy.
+	q2 := MustParseQuery(`//article[./section/section]`)
+	without, err := doc.Search(q2, SearchOptions{K: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withoutExact := 0
+	for _, a := range without {
+		if a.Relaxations == 0 {
+			withoutExact++
+		}
+	}
+	if withoutExact != 0 {
+		t.Fatalf("section/section matched exactly without hierarchy")
+	}
+	with, err := doc.Search(q2, SearchOptions{
+		K:         100,
+		Hierarchy: map[string]string{"subsection": "section"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withExact := 0
+	for _, a := range with {
+		if a.Relaxations == 0 {
+			withExact++
+		}
+	}
+	if withExact == 0 {
+		t.Error("hierarchy did not widen matching")
+	}
+	_ = plain
+}

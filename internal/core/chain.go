@@ -1,0 +1,388 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flexpath/internal/ir"
+	"flexpath/internal/rank"
+	"flexpath/internal/stats"
+	"flexpath/internal/tpq"
+	"flexpath/internal/xmltree"
+)
+
+// Step is one link of a relaxation chain: the predicates dropped from the
+// query closure (one chosen predicate plus the value-based predicates
+// automatically dropped when a variable disappears, §3.3), the penalty
+// paid, and the resulting relaxed query.
+type Step struct {
+	// Dropped lists the closure predicates this step drops; Dropped[0] is
+	// the chosen (lowest-penalty) predicate.
+	Dropped []tpq.Pred
+	// Penalty is the total penalty of the step's dropped predicates.
+	Penalty float64
+	// Query is the relaxed query after this step (the core of the
+	// remaining predicate set).
+	Query *tpq.Query
+	// SS is the uniform structural score of answers first admitted at
+	// this relaxation level (Base minus all penalties so far).
+	SS float64
+	// DistID is the stable ID of the distinguished variable after this
+	// step (leaf deletion may move it to the parent).
+	DistID int
+	// Desc is a human-readable description of the relaxation operator
+	// this predicate drop corresponds to.
+	Desc string
+}
+
+// Chain is the penalty-ordered sequence of relaxations of a query (§5.1):
+// starting from the query's closure, it repeatedly drops the remaining
+// droppable predicate with the lowest penalty whose removal yields a valid
+// relaxation. DPO walks the chain one step at a time; SSO and Hybrid
+// choose a prefix with selectivity estimates and encode it into a single
+// plan.
+type Chain struct {
+	Original *tpq.Query
+	Closure  *tpq.PredSet
+	// Base is the structural score of exact answers.
+	Base  float64
+	Steps []Step
+
+	doc       *xmltree.Document
+	ix        *ir.Index
+	pen       *rank.Penalizer
+	weights   rank.Weights
+	hierarchy *tpq.Hierarchy
+	penaltyOf map[string]float64
+	bitOf     map[string]uint
+	numBits   int
+	tagOf     map[int]string
+}
+
+// BuildChain computes the full relaxation chain of q over the given
+// document, index and statistics.
+func BuildChain(doc *xmltree.Document, ix *ir.Index, st *stats.Stats, w rank.Weights, q *tpq.Query) (*Chain, error) {
+	return BuildChainH(doc, ix, st, w, q, nil)
+}
+
+// BuildChainH is BuildChain with a type hierarchy (§3.4 extension): plans
+// built from the chain match each tag constraint against the tag or any
+// of its subtypes. The hierarchy does not change the chain's relaxation
+// steps or penalties — it widens matching only.
+func BuildChainH(doc *xmltree.Document, ix *ir.Index, st *stats.Stats, w rank.Weights, q *tpq.Query, h *tpq.Hierarchy) (*Chain, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if h != nil {
+		if err := h.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	w = foldQueryWeights(w, q)
+	pen := rank.NewPenalizer(st, ix, w, q)
+	c := &Chain{
+		Original:  q.Clone(),
+		hierarchy: h,
+		Closure:   tpq.ClosureOf(q),
+		Base:      pen.BaseScore(q),
+		doc:       doc,
+		ix:        ix,
+		pen:       pen,
+		weights:   w,
+		penaltyOf: make(map[string]float64),
+		bitOf:     make(map[string]uint),
+		tagOf:     make(map[int]string),
+	}
+	for i := range q.Nodes {
+		c.tagOf[q.Nodes[i].ID] = q.Nodes[i].Tag
+	}
+	rootID := q.Nodes[0].ID
+	for _, p := range c.Closure.List() {
+		if droppable(p, rootID) {
+			c.penaltyOf[p.Key()] = pen.Penalty(p)
+		}
+	}
+
+	cur := c.Closure.Clone()
+	curQuery := q.Clone()
+	distID := q.Nodes[q.Dist].ID
+	ss := c.Base
+	for {
+		step, ok := c.nextStep(cur, curQuery, distID, rootID)
+		if !ok {
+			break
+		}
+		for _, p := range step.Dropped {
+			cur.Remove(p)
+		}
+		ss -= step.Penalty
+		step.SS = ss
+		distID = step.DistID
+		curQuery = step.Query
+		c.Steps = append(c.Steps, step)
+	}
+	// Assign signature bits to dropped predicates in chain order; queries
+	// large enough to exceed 64 tracked predicates share the last bit
+	// (merging buckets, which is harmless).
+	for _, s := range c.Steps {
+		for _, p := range s.Dropped {
+			if p.Kind == tpq.PredTag || p.Kind == tpq.PredValue {
+				continue
+			}
+			bit := uint(c.numBits)
+			if bit > 63 {
+				bit = 63
+			} else {
+				c.numBits++
+			}
+			c.bitOf[p.Key()] = bit
+		}
+	}
+	if c.numBits > 63 {
+		c.numBits = 64
+	}
+	return c, nil
+}
+
+// foldQueryWeights merges user-specified per-edge weights from the query
+// syntax (tag^2.5) into the weight assignment: the edge's pc and ad
+// predicates both carry the user weight.
+func foldQueryWeights(w rank.Weights, q *tpq.Query) rank.Weights {
+	var per map[string]float64
+	for i := range q.Nodes {
+		n := &q.Nodes[i]
+		if n.Weight <= 0 || n.Parent == -1 {
+			continue
+		}
+		if per == nil {
+			per = make(map[string]float64)
+			for k, v := range w.PerPred {
+				per[k] = v
+			}
+		}
+		pid := q.Nodes[n.Parent].ID
+		per[(tpq.Pred{Kind: tpq.PredPC, X: pid, Y: n.ID}).Key()] = n.Weight
+		per[(tpq.Pred{Kind: tpq.PredAD, X: pid, Y: n.ID}).Key()] = n.Weight
+	}
+	if per != nil {
+		w.PerPred = per
+	}
+	return w
+}
+
+func droppable(p tpq.Pred, rootID int) bool {
+	switch p.Kind {
+	case tpq.PredPC, tpq.PredAD:
+		return true
+	case tpq.PredContains:
+		// The root's contains predicate is never dropped: the loosest
+		// interpretation keeps the full-text search itself (§1, §3.5.4).
+		return p.X != rootID
+	default:
+		return false
+	}
+}
+
+// nextStep finds the lowest-penalty droppable predicate whose removal is a
+// valid relaxation of the current predicate set, per Definition 1/2.
+func (c *Chain) nextStep(cur *tpq.PredSet, curQuery *tpq.Query, distID, rootID int) (Step, bool) {
+	type cand struct {
+		p       tpq.Pred
+		penalty float64
+	}
+	var cands []cand
+	for _, p := range cur.List() {
+		if !droppable(p, rootID) {
+			continue
+		}
+		cands = append(cands, cand{p: p, penalty: c.penaltyOf[p.Key()]})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].penalty != cands[j].penalty {
+			return cands[i].penalty < cands[j].penalty
+		}
+		return cands[i].p.Key() < cands[j].p.Key()
+	})
+	for _, cd := range cands {
+		p := cd.p
+		// Dropping a derivable predicate yields an equivalent query, not
+		// a relaxation (Definition 1(i)); it may become meaningful after
+		// other predicates are dropped, so it is retried each round.
+		if tpq.Derivable(cur, p) {
+			continue
+		}
+		tentative := cur.Minus(p)
+		dropped := []tpq.Pred{p}
+		penalty := cd.penalty
+		newDist := distID
+		orphaned := -1
+		if p.Kind == tpq.PredPC || p.Kind == tpq.PredAD {
+			y := p.Y
+			if !hasIncoming(tentative, y) {
+				// y disappears: only valid when it has no structural
+				// children left (leaf deletion, §3.5.2).
+				if hasOutgoing(tentative, y) {
+					continue
+				}
+				orphaned = y
+				for _, r := range tentative.List() {
+					if r.Kind != tpq.PredPC && r.Kind != tpq.PredAD && r.X == y {
+						tentative.Remove(r)
+						dropped = append(dropped, r)
+						if r.Kind == tpq.PredContains {
+							penalty += c.pen.Penalty(r)
+						}
+					}
+				}
+				if y == distID {
+					// λ moves the distinguished node to the parent.
+					i := curQuery.NodeByID(y)
+					if i <= 0 {
+						continue
+					}
+					newDist = curQuery.Nodes[curQuery.Nodes[i].Parent].ID
+				}
+			}
+		}
+		relaxed, err := tpq.TreeFromPreds(tpq.Core(tentative), newDist)
+		if err != nil {
+			continue
+		}
+		return Step{
+			Dropped: dropped,
+			Penalty: penalty,
+			Query:   relaxed,
+			DistID:  newDist,
+			Desc:    c.describe(p, tentative, orphaned),
+		}, true
+	}
+	return Step{}, false
+}
+
+func hasIncoming(s *tpq.PredSet, y int) bool {
+	for _, p := range s.List() {
+		if (p.Kind == tpq.PredPC || p.Kind == tpq.PredAD) && p.Y == y {
+			return true
+		}
+	}
+	return false
+}
+
+func hasOutgoing(s *tpq.PredSet, x int) bool {
+	for _, p := range s.List() {
+		if (p.Kind == tpq.PredPC || p.Kind == tpq.PredAD) && p.X == x {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Chain) describe(p tpq.Pred, after *tpq.PredSet, orphaned int) string {
+	tag := func(id int) string {
+		if t, ok := c.tagOf[id]; ok {
+			return t
+		}
+		return fmt.Sprintf("$%d", id)
+	}
+	switch p.Kind {
+	case tpq.PredPC:
+		return fmt.Sprintf("generalize edge %s/%s", tag(p.X), tag(p.Y))
+	case tpq.PredAD:
+		if orphaned == p.Y {
+			return fmt.Sprintf("delete %s", tag(p.Y))
+		}
+		return fmt.Sprintf("promote %s above %s", tag(p.Y), tag(p.X))
+	case tpq.PredContains:
+		return fmt.Sprintf("promote contains from %s", tag(p.X))
+	default:
+		return p.Key()
+	}
+}
+
+// Len returns the number of relaxation steps in the chain.
+func (c *Chain) Len() int { return len(c.Steps) }
+
+// QueryAt returns the relaxed query after j steps (j = 0 is the original).
+func (c *Chain) QueryAt(j int) *tpq.Query {
+	if j == 0 {
+		return c.Original
+	}
+	return c.Steps[j-1].Query
+}
+
+// SSAt returns the uniform structural score of answers first admitted at
+// relaxation level j.
+func (c *Chain) SSAt(j int) float64 {
+	if j == 0 {
+		return c.Base
+	}
+	return c.Steps[j-1].SS
+}
+
+// DistIDAt returns the stable ID of the distinguished variable after j
+// steps.
+func (c *Chain) DistIDAt(j int) int {
+	if j == 0 {
+		return c.Original.Nodes[c.Original.Dist].ID
+	}
+	return c.Steps[j-1].DistID
+}
+
+// DroppedUpTo returns the set of predicates dropped by steps 1..j.
+func (c *Chain) DroppedUpTo(j int) *tpq.PredSet {
+	s := tpq.NewPredSet()
+	for i := 0; i < j; i++ {
+		for _, p := range c.Steps[i].Dropped {
+			s.Add(p)
+		}
+	}
+	return s
+}
+
+// Weights returns the weight assignment the chain was built with.
+func (c *Chain) Weights() rank.Weights { return c.weights }
+
+// Index returns the full-text index the chain was built against.
+func (c *Chain) Index() *ir.Index { return c.ix }
+
+// Doc returns the document the chain was built against.
+func (c *Chain) Doc() *xmltree.Document { return c.doc }
+
+// Hierarchy returns the type hierarchy the chain matches tags against
+// (nil for plain tag equality).
+func (c *Chain) Hierarchy() *tpq.Hierarchy { return c.hierarchy }
+
+// String summarizes the chain for diagnostics.
+func (c *Chain) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "chain base=%.3f steps=%d\n", c.Base, len(c.Steps))
+	for i, s := range c.Steps {
+		fmt.Fprintf(&sb, "  %2d. %-40s penalty=%.4f ss=%.4f\n", i+1, s.Desc, s.Penalty, s.SS)
+	}
+	return sb.String()
+}
+
+// PenaltyOfPC returns the penalty of dropping the pc predicate between
+// variables x and y of the original query (by stable ID), or the full
+// structural weight when no such predicate exists. The data-relaxation
+// baseline scores shortcut matches with it.
+func (c *Chain) PenaltyOfPC(x, y int) float64 {
+	if p, ok := c.penaltyOf[(tpq.Pred{Kind: tpq.PredPC, X: x, Y: y}).Key()]; ok {
+		return p
+	}
+	return c.weights.Structural
+}
+
+// StepBits returns the signature bit mask of the predicates dropped by
+// chain step j (1-based). An answer whose plan signature has all of a
+// step's bits set satisfies everything that step dropped.
+func (c *Chain) StepBits(j int) uint64 {
+	var mask uint64
+	for _, p := range c.Steps[j-1].Dropped {
+		if bit, ok := c.bitOf[p.Key()]; ok {
+			mask |= 1 << bit
+		}
+	}
+	return mask
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"flexpath/internal/tpq"
+)
+
+// This file implements the "other relaxations" of §3.4 of the paper,
+// which are orthogonal to the four core operators: tag relaxation along a
+// type hierarchy (replace article with publication) and value-predicate
+// weakening (price <= 98 becomes price <= 100). Both strictly enlarge the
+// answer set, so composing them with the core operators preserves the
+// containment property of relaxations.
+
+// RelaxTag replaces node i's tag with its supertype in h. It fails when
+// the node has no supertype. The result strictly contains the original
+// whenever any element carries a different subtype of the supertype.
+func RelaxTag(q *tpq.Query, i int, h *tpq.Hierarchy) (*tpq.Query, error) {
+	if i < 0 || i >= len(q.Nodes) {
+		return nil, fmt.Errorf("core: node %d out of range", i)
+	}
+	super, ok := h.Supertype(q.Nodes[i].Tag)
+	if !ok {
+		return nil, fmt.Errorf("core: tag %q has no supertype", q.Nodes[i].Tag)
+	}
+	out := q.Clone()
+	out.Nodes[i].Tag = super
+	return out, nil
+}
+
+// WeakenValue replaces the predIdx-th value predicate of node i with a
+// strictly weaker comparison against newValue. Only inequality operators
+// can be weakened: < and <= weaken by raising the bound, > and >= by
+// lowering it (numerically when both values are numbers, lexicographically
+// otherwise). Equality and inequality predicates cannot be weakened this
+// way; drop them with leaf deletion semantics instead.
+func WeakenValue(q *tpq.Query, i, predIdx int, newValue string) (*tpq.Query, error) {
+	if i < 0 || i >= len(q.Nodes) {
+		return nil, fmt.Errorf("core: node %d out of range", i)
+	}
+	if predIdx < 0 || predIdx >= len(q.Nodes[i].Values) {
+		return nil, fmt.Errorf("core: node $%d has no value predicate %d", q.Nodes[i].ID, predIdx)
+	}
+	vp := q.Nodes[i].Values[predIdx]
+	cmp, comparable := compareLiterals(vp.Value, newValue)
+	if !comparable {
+		return nil, fmt.Errorf("core: cannot compare %q and %q", vp.Value, newValue)
+	}
+	switch vp.Op {
+	case tpq.OpLt, tpq.OpLe:
+		if cmp >= 0 {
+			return nil, fmt.Errorf("core: %q does not weaken %s %q", newValue, vp.Op, vp.Value)
+		}
+	case tpq.OpGt, tpq.OpGe:
+		if cmp <= 0 {
+			return nil, fmt.Errorf("core: %q does not weaken %s %q", newValue, vp.Op, vp.Value)
+		}
+	default:
+		return nil, fmt.Errorf("core: %s predicates cannot be weakened", vp.Op)
+	}
+	out := q.Clone()
+	out.Nodes[i].Values[predIdx].Value = newValue
+	return out, nil
+}
+
+// compareLiterals compares old against new the way value predicates do:
+// numerically when both parse as numbers, lexicographically otherwise.
+// It returns old-vs-new as -1/0/1 and whether the values were comparable.
+func compareLiterals(oldV, newV string) (int, bool) {
+	a, errA := strconv.ParseFloat(oldV, 64)
+	b, errB := strconv.ParseFloat(newV, 64)
+	if errA == nil && errB == nil {
+		switch {
+		case a < b:
+			return -1, true
+		case a > b:
+			return 1, true
+		}
+		return 0, true
+	}
+	if errA != nil && errB != nil {
+		switch {
+		case oldV < newV:
+			return -1, true
+		case oldV > newV:
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// ApplicableTagOps lists the tag relaxations h enables on q.
+func ApplicableTagOps(q *tpq.Query, h *tpq.Hierarchy) []int {
+	var out []int
+	for i := range q.Nodes {
+		if _, ok := h.Supertype(q.Nodes[i].Tag); ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}

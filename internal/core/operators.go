@@ -1,0 +1,156 @@
+// Package core implements the FleXPath framework itself: the four
+// relaxation operators of §3.5 (axis generalization, leaf deletion,
+// subtree promotion, contains promotion), enumeration of the relaxation
+// space they span (Theorem 2), and the penalty-ordered relaxation chain
+// with its scored evaluation plans that the top-K algorithms of §5 are
+// built on.
+package core
+
+import (
+	"fmt"
+
+	"flexpath/internal/tpq"
+)
+
+// AxisGeneralize is the γ operator (§3.5.1): it replaces the pc edge from
+// node i's parent to i with an ad edge. It fails when i is the root or the
+// edge is already ancestor-descendant.
+func AxisGeneralize(q *tpq.Query, i int) (*tpq.Query, error) {
+	if i <= 0 || i >= len(q.Nodes) {
+		return nil, fmt.Errorf("core: axis generalization needs a non-root node")
+	}
+	if q.Nodes[i].Axis != tpq.Child {
+		return nil, fmt.Errorf("core: edge to $%d is already //", q.Nodes[i].ID)
+	}
+	out := q.Clone()
+	out.Nodes[i].Axis = tpq.Descendant
+	return out, nil
+}
+
+// DeleteLeaf is the λ operator (§3.5.2): it removes leaf node i and all
+// its value-based predicates. If i is the distinguished node, its parent
+// becomes distinguished. It fails when i is the root or not a leaf.
+func DeleteLeaf(q *tpq.Query, i int) (*tpq.Query, error) {
+	if i <= 0 || i >= len(q.Nodes) {
+		return nil, fmt.Errorf("core: cannot delete the root")
+	}
+	if !q.IsLeaf(i) {
+		return nil, fmt.Errorf("core: $%d is not a leaf", q.Nodes[i].ID)
+	}
+	out := q.Clone()
+	if out.Dist == i {
+		out.Dist = out.Nodes[i].Parent
+	}
+	if out.Dist > i {
+		out.Dist--
+	}
+	for j := range out.Nodes {
+		if out.Nodes[j].Parent > i {
+			out.Nodes[j].Parent--
+		}
+	}
+	out.Nodes = append(out.Nodes[:i], out.Nodes[i+1:]...)
+	out.Normalize()
+	return out, nil
+}
+
+// PromoteSubtree is the σ operator (§3.5.3): the subtree rooted at node i
+// is re-hung under i's grandparent with an ad edge. It fails when i is the
+// root or a child of the root.
+func PromoteSubtree(q *tpq.Query, i int) (*tpq.Query, error) {
+	if i <= 0 || i >= len(q.Nodes) {
+		return nil, fmt.Errorf("core: cannot promote the root")
+	}
+	p := q.Nodes[i].Parent
+	if p == -1 || q.Nodes[p].Parent == -1 {
+		return nil, fmt.Errorf("core: $%d has no grandparent", q.Nodes[i].ID)
+	}
+	out := q.Clone()
+	out.Nodes[i].Parent = q.Nodes[p].Parent
+	out.Nodes[i].Axis = tpq.Descendant
+	out.Normalize()
+	return out, nil
+}
+
+// PromoteContains is the κ operator (§3.5.4): the exprIdx-th contains
+// predicate of node i moves to i's parent. It fails when i is the root or
+// the index is out of range.
+func PromoteContains(q *tpq.Query, i, exprIdx int) (*tpq.Query, error) {
+	if i <= 0 || i >= len(q.Nodes) {
+		return nil, fmt.Errorf("core: cannot promote contains from the root")
+	}
+	if exprIdx < 0 || exprIdx >= len(q.Nodes[i].Contains) {
+		return nil, fmt.Errorf("core: $%d has no contains predicate %d", q.Nodes[i].ID, exprIdx)
+	}
+	out := q.Clone()
+	e := out.Nodes[i].Contains[exprIdx]
+	out.Nodes[i].Contains = append(out.Nodes[i].Contains[:exprIdx], out.Nodes[i].Contains[exprIdx+1:]...)
+	p := out.Nodes[i].Parent
+	// Avoid duplicating an identical predicate already on the parent.
+	for _, pe := range out.Nodes[p].Contains {
+		if pe.Canon() == e.Canon() {
+			return out, nil
+		}
+	}
+	out.Nodes[p].Contains = append(out.Nodes[p].Contains, e)
+	return out, nil
+}
+
+// OpKind identifies a relaxation operator.
+type OpKind int8
+
+// The four relaxation operators.
+const (
+	OpAxisGeneralize OpKind = iota
+	OpDeleteLeaf
+	OpPromoteSubtree
+	OpPromoteContains
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpAxisGeneralize:
+		return "axis-generalize"
+	case OpDeleteLeaf:
+		return "delete-leaf"
+	case OpPromoteSubtree:
+		return "promote-subtree"
+	default:
+		return "promote-contains"
+	}
+}
+
+// Op is one operator application, identified by the stable variable ID it
+// applies to (so descriptions survive re-normalization).
+type Op struct {
+	Kind    OpKind
+	VarID   int
+	ExprIdx int // for OpPromoteContains
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if o.Kind == OpPromoteContains {
+		return fmt.Sprintf("%s($%d,#%d)", o.Kind, o.VarID, o.ExprIdx)
+	}
+	return fmt.Sprintf("%s($%d)", o.Kind, o.VarID)
+}
+
+// Apply applies the operator to q, addressing the node by stable ID.
+func (o Op) Apply(q *tpq.Query) (*tpq.Query, error) {
+	i := q.NodeByID(o.VarID)
+	if i < 0 {
+		return nil, fmt.Errorf("core: variable $%d not in query", o.VarID)
+	}
+	switch o.Kind {
+	case OpAxisGeneralize:
+		return AxisGeneralize(q, i)
+	case OpDeleteLeaf:
+		return DeleteLeaf(q, i)
+	case OpPromoteSubtree:
+		return PromoteSubtree(q, i)
+	default:
+		return PromoteContains(q, i, o.ExprIdx)
+	}
+}

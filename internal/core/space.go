@@ -1,0 +1,77 @@
+package core
+
+import (
+	"flexpath/internal/tpq"
+)
+
+// Relaxation is one member of a query's relaxation space: a relaxed query
+// together with a shortest operator sequence producing it.
+type Relaxation struct {
+	Query *tpq.Query
+	// Ops is one shortest sequence of operator applications producing
+	// Query from the original (empty for the original itself).
+	Ops []Op
+	// Depth is the number of operator applications.
+	Depth int
+}
+
+// EnumerateRelaxations explores the space of relaxations of q (§3.5)
+// breadth-first, applying every applicable operator at every node and
+// deduplicating by canonical form. maxDepth bounds the number of composed
+// operator applications (pass a negative value for the full space; it is
+// finite because every operator strictly shrinks the query's predicate
+// content). The original query is returned first; results are in BFS
+// order, so shallower (less relaxed) queries come first.
+func EnumerateRelaxations(q *tpq.Query, maxDepth int) []Relaxation {
+	seen := map[string]bool{q.Canon(): true}
+	out := []Relaxation{{Query: q.Clone()}}
+	frontier := []Relaxation{out[0]}
+	depth := 0
+	for len(frontier) > 0 && (maxDepth < 0 || depth < maxDepth) {
+		depth++
+		var next []Relaxation
+		for _, r := range frontier {
+			for _, op := range ApplicableOps(r.Query) {
+				nq, err := op.Apply(r.Query)
+				if err != nil {
+					continue
+				}
+				key := nq.Canon()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				nr := Relaxation{
+					Query: nq,
+					Ops:   append(append([]Op(nil), r.Ops...), op),
+					Depth: depth,
+				}
+				out = append(out, nr)
+				next = append(next, nr)
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// ApplicableOps lists every operator application that is legal on q.
+func ApplicableOps(q *tpq.Query) []Op {
+	var ops []Op
+	for i := 1; i < len(q.Nodes); i++ {
+		n := &q.Nodes[i]
+		if n.Axis == tpq.Child {
+			ops = append(ops, Op{Kind: OpAxisGeneralize, VarID: n.ID})
+		}
+		if q.IsLeaf(i) {
+			ops = append(ops, Op{Kind: OpDeleteLeaf, VarID: n.ID})
+		}
+		if n.Parent != -1 && q.Nodes[n.Parent].Parent != -1 {
+			ops = append(ops, Op{Kind: OpPromoteSubtree, VarID: n.ID})
+		}
+		for e := range n.Contains {
+			ops = append(ops, Op{Kind: OpPromoteContains, VarID: n.ID, ExprIdx: e})
+		}
+	}
+	return ops
+}

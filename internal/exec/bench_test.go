@@ -1,0 +1,78 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"flexpath/internal/ir"
+	"flexpath/internal/tpq"
+	"flexpath/internal/xmltree"
+)
+
+func benchTree(b *testing.B) *xmltree.Document {
+	b.Helper()
+	bld := xmltree.NewBuilder()
+	r := rand.New(rand.NewSource(7))
+	bld.Open("root")
+	for i := 0; i < 3000; i++ {
+		bld.Open("a")
+		for j := 0; j < 1+r.Intn(3); j++ {
+			bld.Open("b")
+			if r.Intn(2) == 0 {
+				bld.Open("c")
+				bld.Text("gold words")
+				bld.Close()
+			}
+			bld.Close()
+		}
+		bld.Close()
+	}
+	bld.Close()
+	d, err := bld.Document()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func BenchmarkSemiJoinHasDescendant(b *testing.B) {
+	d := benchTree(b)
+	outer := d.NodesWithTag("a")
+	inner := d.NodesWithTag("c")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SemiJoinHasDescendant(d, outer, inner)
+	}
+}
+
+func BenchmarkSemiJoinHasChild(b *testing.B) {
+	d := benchTree(b)
+	outer := d.NodesWithTag("a")
+	inner := d.NodesWithTag("b")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SemiJoinHasChild(d, outer, inner)
+	}
+}
+
+func BenchmarkEvaluateExact(b *testing.B) {
+	d := benchTree(b)
+	ev := NewEvaluator(d, ir.NewIndex(d))
+	q := tpq.MustParse(`//a[./b[./c[.contains("gold")]]]`)
+	ev.Evaluate(q) // warm the IR cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Evaluate(q)
+	}
+}
+
+func BenchmarkEvaluateIRFirst(b *testing.B) {
+	d := benchTree(b)
+	ev := NewEvaluator(d, ir.NewIndex(d))
+	q := tpq.MustParse(`//a[./b[./c[.contains("gold")]]]`)
+	ev.EvaluateIRFirst(q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.EvaluateIRFirst(q)
+	}
+}

@@ -1,0 +1,159 @@
+package exec
+
+import (
+	"strconv"
+	"strings"
+
+	"flexpath/internal/ir"
+	"flexpath/internal/tpq"
+	"flexpath/internal/xmltree"
+)
+
+// Evaluator evaluates exact tree pattern queries against one document.
+type Evaluator struct {
+	doc *xmltree.Document
+	ix  *ir.Index
+	h   *tpq.Hierarchy
+}
+
+// NewEvaluator builds an exact evaluator over a document and its full-text
+// index.
+func NewEvaluator(doc *xmltree.Document, ix *ir.Index) *Evaluator {
+	return &Evaluator{doc: doc, ix: ix}
+}
+
+// WithHierarchy returns an evaluator that interprets tag constraints
+// against the given type hierarchy: a node constrained to tag t matches
+// elements carrying t or any of its subtypes (§3.4 of the paper).
+func (ev *Evaluator) WithHierarchy(h *tpq.Hierarchy) *Evaluator {
+	out := *ev
+	out.h = h
+	return &out
+}
+
+// Doc returns the evaluator's document.
+func (ev *Evaluator) Doc() *xmltree.Document { return ev.doc }
+
+// Index returns the evaluator's full-text index.
+func (ev *Evaluator) Index() *ir.Index { return ev.ix }
+
+// Candidates returns the document nodes that satisfy query node i's local
+// predicates: tag, value-based predicates, and contains predicates. The
+// result is in document order and must not be modified unless it was
+// filtered (in which case it is a fresh slice).
+func (ev *Evaluator) Candidates(q *tpq.Query, i int) []xmltree.NodeID {
+	n := &q.Nodes[i]
+	var base []xmltree.NodeID
+	if ev.h == nil {
+		base = ev.doc.NodesWithTag(n.Tag)
+	} else {
+		var lists [][]xmltree.NodeID
+		for _, t := range ev.h.Subtypes(n.Tag) {
+			if l := ev.doc.NodesWithTag(t); len(l) > 0 {
+				lists = append(lists, l)
+			}
+		}
+		base = mergeSorted(lists)
+	}
+	if len(n.Values) == 0 && len(n.Contains) == 0 {
+		return base
+	}
+	var results []*ir.Result
+	for _, e := range n.Contains {
+		results = append(results, ev.ix.Eval(e))
+	}
+	out := make([]xmltree.NodeID, 0, len(base))
+candidates:
+	for _, c := range base {
+		for _, v := range n.Values {
+			if !EvalValuePred(ev.doc, c, v) {
+				continue candidates
+			}
+		}
+		for _, r := range results {
+			if !r.Satisfies(c) {
+				continue candidates
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// Evaluate returns the exact answers of q: the matches of the
+// distinguished node, in document order.
+func (ev *Evaluator) Evaluate(q *tpq.Query) []xmltree.NodeID {
+	ok := ev.EvaluateFull(q)
+	if ok == nil {
+		return nil
+	}
+	return ok[q.Dist]
+}
+
+// EvaluateFull evaluates q and returns, for every query node, the data
+// nodes that participate in at least one full match (answers are the
+// distinguished node's list). It returns nil when the query has no match.
+// It runs the classical two-pass semijoin evaluation: a bottom-up pass
+// computing, for each query node, the data nodes whose subtree matches
+// the sub-pattern, then a top-down pass keeping only nodes reachable from
+// a match of the parent.
+func (ev *Evaluator) EvaluateFull(q *tpq.Query) [][]xmltree.NodeID {
+	return ev.evaluateFullWith(q, ev.Candidates)
+}
+
+// EvalValuePred evaluates a value-based predicate against a node's
+// attribute, or against its own text content when the predicate names no
+// attribute ($i.content, e.g. ./quantity < 3). The comparison is numeric
+// when both sides parse as numbers, lexicographic otherwise. A missing
+// attribute or empty content fails every comparison.
+func EvalValuePred(doc *xmltree.Document, n xmltree.NodeID, v tpq.ValuePred) bool {
+	var got string
+	if v.Attr == "" {
+		got = strings.TrimSpace(doc.Text(n))
+		if got == "" {
+			return false
+		}
+	} else {
+		var ok bool
+		got, ok = doc.Attr(n, v.Attr)
+		if !ok {
+			return false
+		}
+	}
+	var cmp int
+	if a, errA := strconv.ParseFloat(got, 64); errA == nil {
+		if b, errB := strconv.ParseFloat(v.Value, 64); errB == nil {
+			switch {
+			case a < b:
+				cmp = -1
+			case a > b:
+				cmp = 1
+			}
+			return applyCmp(cmp, v.Op)
+		}
+	}
+	switch {
+	case got < v.Value:
+		cmp = -1
+	case got > v.Value:
+		cmp = 1
+	}
+	return applyCmp(cmp, v.Op)
+}
+
+func applyCmp(cmp int, op tpq.CmpOp) bool {
+	switch op {
+	case tpq.OpEq:
+		return cmp == 0
+	case tpq.OpNe:
+		return cmp != 0
+	case tpq.OpLt:
+		return cmp < 0
+	case tpq.OpLe:
+		return cmp <= 0
+	case tpq.OpGt:
+		return cmp > 0
+	default:
+		return cmp >= 0
+	}
+}

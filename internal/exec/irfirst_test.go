@@ -1,0 +1,72 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flexpath/internal/ir"
+	"flexpath/internal/tpq"
+	"flexpath/internal/xmltree"
+)
+
+func parseDoc(src string) (*xmltree.Document, error) {
+	return xmltree.ParseString(src)
+}
+
+// TestIRFirstMatchesStructureFirst: both strategies compute identical
+// answer sets on random documents and queries.
+func TestIRFirstMatchesStructureFirst(t *testing.T) {
+	queries := []string{
+		`//a[./b[.contains("alpha")]]`,
+		`//a[.//c[.contains("alpha" and "beta")] and ./b]`,
+		`//a[.contains("gamma") and ./b[.contains("beta")]]`,
+		`//a[./b[.contains("alpha") and @v < 3]]`,
+		`//a[./b]`, // no contains: falls back to tag scan
+	}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDoc(r)
+		ix := ir.NewIndex(d)
+		ev := NewEvaluator(d, ix)
+		for _, src := range queries {
+			q := tpq.MustParse(src)
+			a := ev.Evaluate(q)
+			b := ev.EvaluateIRFirst(q)
+			if len(a) != len(b) {
+				t.Logf("seed %d %s: %d vs %d answers", seed, src, len(a), len(b))
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Logf("seed %d %s: answer %d differs", seed, src, i)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIRFirstHierarchy: the IR-first path honors type hierarchies.
+func TestIRFirstHierarchy(t *testing.T) {
+	d, err := parseDoc(`<r>
+	  <pub><sec>gold here</sec></pub>
+	  <article><sec>gold too</sec></article>
+	</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := ir.NewIndex(d)
+	h := tpq.NewHierarchy(map[string]string{"article": "pub"})
+	ev := NewEvaluator(d, ix).WithHierarchy(h)
+	q := tpq.MustParse(`//pub[./sec[.contains("gold")]]`)
+	a := ev.Evaluate(q)
+	b := ev.EvaluateIRFirst(q)
+	if len(a) != 2 || len(b) != 2 {
+		t.Fatalf("hierarchy answers: structure-first %d, ir-first %d, want 2", len(a), len(b))
+	}
+}

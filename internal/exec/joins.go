@@ -1,0 +1,117 @@
+// Package exec is FleXPath's query execution engine. It provides the
+// structural (semi)join primitives of Al-Khalifa et al. (ICDE 2002) over
+// sorted node lists, an exact tree-pattern evaluator used by the DPO
+// algorithm and by the test oracles, and a scored left-deep join pipeline
+// that evaluates a query with relaxations encoded as optional predicates —
+// the machinery behind the SSO and Hybrid algorithms (§5.2 of the paper).
+package exec
+
+import (
+	"sort"
+
+	"flexpath/internal/xmltree"
+)
+
+// SemiJoinHasDescendant keeps the nodes of outer whose subtree contains at
+// least one node of inner. Both lists must be sorted in document order;
+// the result is sorted.
+func SemiJoinHasDescendant(doc *xmltree.Document, outer, inner []xmltree.NodeID) []xmltree.NodeID {
+	if len(outer) == 0 || len(inner) == 0 {
+		return nil
+	}
+	out := outer[:0:0]
+	for _, a := range outer {
+		i := sort.Search(len(inner), func(i int) bool { return inner[i] > a })
+		if i < len(inner) && inner[i] <= doc.End(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// SemiJoinHasChild keeps the nodes of outer that have at least one child
+// in inner. Both lists must be sorted; the result is sorted.
+func SemiJoinHasChild(doc *xmltree.Document, outer, inner []xmltree.NodeID) []xmltree.NodeID {
+	if len(outer) == 0 || len(inner) == 0 {
+		return nil
+	}
+	// Collect the distinct parents of inner, then merge with outer.
+	parents := make([]xmltree.NodeID, 0, len(inner))
+	for _, d := range inner {
+		if p := doc.Parent(d); p != xmltree.InvalidNode {
+			parents = append(parents, p)
+		}
+	}
+	sort.Slice(parents, func(i, j int) bool { return parents[i] < parents[j] })
+	out := outer[:0:0]
+	j := 0
+	for _, a := range outer {
+		for j < len(parents) && parents[j] < a {
+			j++
+		}
+		if j < len(parents) && parents[j] == a {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// SemiJoinDescendantOf keeps the nodes that are proper descendants of at
+// least one node in ancestors. Both lists must be sorted; the result is
+// sorted.
+func SemiJoinDescendantOf(doc *xmltree.Document, nodes, ancestors []xmltree.NodeID) []xmltree.NodeID {
+	if len(nodes) == 0 || len(ancestors) == 0 {
+		return nil
+	}
+	// maxEnd[i] = max interval end among ancestors[0..i]; a node n has a
+	// containing ancestor iff some a < n has end(a) >= n, i.e. the max end
+	// among ancestors strictly before n reaches n.
+	maxEnd := make([]xmltree.NodeID, len(ancestors))
+	cur := xmltree.NodeID(-1)
+	for i, a := range ancestors {
+		if e := doc.End(a); e > cur {
+			cur = e
+		}
+		maxEnd[i] = cur
+	}
+	out := nodes[:0:0]
+	for _, n := range nodes {
+		i := sort.Search(len(ancestors), func(i int) bool { return ancestors[i] >= n })
+		if i > 0 && maxEnd[i-1] >= n {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// SemiJoinChildOf keeps the nodes whose parent is in parents. Both lists
+// must be sorted; the result is sorted.
+func SemiJoinChildOf(doc *xmltree.Document, nodes, parents []xmltree.NodeID) []xmltree.NodeID {
+	if len(nodes) == 0 || len(parents) == 0 {
+		return nil
+	}
+	out := nodes[:0:0]
+	for _, n := range nodes {
+		p := doc.Parent(n)
+		if p == xmltree.InvalidNode {
+			continue
+		}
+		i := sort.Search(len(parents), func(i int) bool { return parents[i] >= p })
+		if i < len(parents) && parents[i] == p {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// DescendantsInRange returns the sub-slice of the sorted list nodes that
+// lies strictly inside a's subtree: (a, end(a)].
+func DescendantsInRange(doc *xmltree.Document, nodes []xmltree.NodeID, a xmltree.NodeID) []xmltree.NodeID {
+	lo := sort.Search(len(nodes), func(i int) bool { return nodes[i] > a })
+	end := doc.End(a)
+	hi := lo
+	for hi < len(nodes) && nodes[hi] <= end {
+		hi++
+	}
+	return nodes[lo:hi]
+}

@@ -1,0 +1,134 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"flexpath/internal/ir"
+	"flexpath/internal/tpq"
+	"flexpath/internal/xmltree"
+)
+
+// buildParallelPlan assembles a small plan with optional variables and
+// bonuses directly (avoiding an import cycle with internal/core).
+func buildParallelPlan(t *testing.T) (*Plan, *xmltree.Document) {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("<lib>")
+	for i := 0; i < 120; i++ {
+		sb.WriteString("<book><chapter>")
+		if i%3 != 0 {
+			sb.WriteString("<para>gold text here</para>")
+		}
+		if i%2 == 0 {
+			sb.WriteString("<note>silver margin</note>")
+		}
+		sb.WriteString("</chapter></book>")
+	}
+	sb.WriteString("</lib>")
+	doc, err := xmltree.ParseString(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := ir.NewIndex(doc)
+	plan := &Plan{
+		Doc: doc,
+		Vars: []VarSpec{
+			{VarID: 1, Tag: "book", Rel: RelRoot},
+			{VarID: 2, Tag: "chapter", Rel: RelParent, Anchor: 0},
+			{VarID: 3, Tag: "para", Rel: RelOptional, Anchor: 1,
+				Bonus:    []BonusPred{{Other: 1, OtherIsAncestor: true, Parent: true, Penalty: 0.5, Bit: 0}},
+				Contains: []ContainsSpec{{Res: ix.Eval(ir.MustParseExpr("gold")), Penalty: 0.25, Bit: 1}},
+			},
+			{VarID: 4, Tag: "note", Rel: RelOptional, Anchor: 1,
+				Bonus: []BonusPred{{Other: 1, OtherIsAncestor: true, Parent: true, Penalty: 0.5, Bit: 2}},
+			},
+		},
+		DistVar:        0,
+		Base:           3,
+		DroppedPenalty: 1.25,
+		NumBits:        3,
+		FirstOptional:  2,
+	}
+	_ = tpq.Child // keep the import meaningful if specs grow value preds
+	return plan, doc
+}
+
+// TestParallelDeterministic: parallel execution returns exactly the
+// sequential results for every mode and worker count.
+func TestParallelDeterministic(t *testing.T) {
+	plan, _ := buildParallelPlan(t)
+	for _, mode := range []Mode{ModeExhaustive, ModeSorted, ModeBuckets} {
+		seq := Run(plan, Options{K: 10, Mode: mode})
+		for _, workers := range []int{2, 3, 8} {
+			par := Run(plan, Options{K: 10, Mode: mode, Parallel: workers})
+			if len(par) != len(seq) {
+				t.Fatalf("mode %v workers %d: %d answers vs %d", mode, workers, len(par), len(seq))
+			}
+			for i := range seq {
+				if seq[i] != par[i] {
+					t.Errorf("mode %v workers %d: answer %d differs: %+v vs %+v",
+						mode, workers, i, par[i], seq[i])
+				}
+			}
+		}
+	}
+}
+
+func TestParallelScores(t *testing.T) {
+	plan, _ := buildParallelPlan(t)
+	answers := Run(plan, Options{Mode: ModeExhaustive, Parallel: 4})
+	if len(answers) != 120 {
+		t.Fatalf("answers = %d, want 120 books", len(answers))
+	}
+	// Books with both para(gold) and note regain everything.
+	if answers[0].Score.SS != 3 {
+		t.Errorf("top score %f, want full base 3", answers[0].Score.SS)
+	}
+	// Books with neither stay at the floor.
+	last := answers[len(answers)-1]
+	if last.Score.SS != 3-1.25 {
+		t.Errorf("bottom score %f, want %f", last.Score.SS, 3-1.25)
+	}
+}
+
+// TestWitnessFirstLeafEquivalence: the adaptive witness-first leaf path
+// must produce exactly the candidates the tag-scan path produces, for
+// both rare and common predicates (forcing each path).
+func TestWitnessFirstLeafEquivalence(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("<lib>")
+	for i := 0; i < 400; i++ {
+		sb.WriteString("<book><para>common words everywhere")
+		if i%97 == 0 {
+			sb.WriteString(" rareterm")
+		}
+		sb.WriteString("</para></book>")
+	}
+	sb.WriteString("</lib>")
+	doc, err := xmltree.ParseString(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := ir.NewIndex(doc)
+	for _, term := range []string{"rareterm", "common"} {
+		res := ix.Eval(ir.MustParseExpr(term))
+		v := &VarSpec{Tag: "para", Contains: []ContainsSpec{{Res: res, Required: true}}}
+		got := evaluateLeaf(doc, v)
+		// Reference: tag scan + Satisfies filter.
+		var want []xmltree.NodeID
+		for _, n := range doc.NodesWithTag("para") {
+			if res.Satisfies(n) {
+				want = append(want, n)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d candidates, want %d", term, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: candidate %d differs", term, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,731 @@
+package exec
+
+import (
+	"sort"
+	"sync"
+
+	"flexpath/internal/ir"
+	"flexpath/internal/rank"
+	"flexpath/internal/tpq"
+	"flexpath/internal/xmltree"
+)
+
+// Rel is the required structural relationship between a plan variable and
+// its anchor variable.
+type Rel int8
+
+const (
+	// RelRoot marks the pattern root: candidates are all nodes with the
+	// variable's tag.
+	RelRoot Rel = iota
+	// RelParent requires the binding to be a child of the anchor binding.
+	RelParent
+	// RelAncestor requires the binding to be a descendant of the anchor
+	// binding (possibly a non-parent ancestor after subtree promotion).
+	RelAncestor
+	// RelOptional allows the variable to stay unbound (its connecting
+	// predicates were all dropped, i.e. the node was deleted by
+	// relaxation); when bound it must be a descendant of the anchor.
+	RelOptional
+)
+
+// BonusPred is a dropped structural predicate that, when satisfied by a
+// tuple's bindings, earns its penalty back. It is attached to whichever of
+// its two variables joins later; Other indexes the earlier one.
+type BonusPred struct {
+	Other           int
+	OtherIsAncestor bool
+	Parent          bool // parent-child check (pc); otherwise ancestor (ad)
+	Penalty         float64
+	Bit             uint
+}
+
+// ContainsSpec is one contains predicate evaluated at a plan variable.
+// Required specs filter candidates and contribute to the keyword score;
+// optional specs (dropped by contains promotion or node deletion) earn
+// their penalty back when still satisfied.
+type ContainsSpec struct {
+	Res      *ir.Result
+	Required bool
+	Weight   float64 // keyword-score weight (required specs)
+	Penalty  float64 // structural regain (optional specs)
+	Bit      uint
+}
+
+// StructCheck is a required structural predicate against an
+// earlier-joined variable that is not implied by the candidate scope (it
+// arises when a variable keeps ad predicates to several ancestors whose
+// bindings need not nest, e.g. after a promotion higher up the pattern).
+type StructCheck struct {
+	Other  int  // plan-variable index of the ancestor side
+	Parent bool // parent-child check; otherwise ancestor-descendant
+}
+
+// VarSpec is one variable of a scored join plan.
+type VarSpec struct {
+	VarID int
+	Tag   string
+	// Tags, when non-empty, lists alternative tags the variable matches
+	// (the tag plus its subtypes under a type hierarchy); it overrides
+	// Tag for candidate selection.
+	Tags     []string
+	Values   []tpq.ValuePred
+	Anchor   int // plan-variable index of the anchor; -1 for the root
+	Rel      Rel
+	Checks   []StructCheck
+	Bonus    []BonusPred
+	Contains []ContainsSpec
+}
+
+// Plan is a left-deep scored join plan: the original query with a chosen
+// set of relaxations encoded as weakened or optional predicates (§5.2.1,
+// Figure 8). Variables are ordered required-first, ancestors before
+// descendants, so anchors always precede their dependents.
+type Plan struct {
+	Doc  *xmltree.Document
+	Vars []VarSpec
+	// DistVar indexes the distinguished variable (always required).
+	DistVar int
+	// Base is the structural score of an exact answer; DroppedPenalty is
+	// the sum of all encoded relaxations' penalties. A tuple's structural
+	// score is Base - DroppedPenalty + (penalties earned back).
+	Base           float64
+	DroppedPenalty float64
+	// NumBits is the number of distinct signature bits in use.
+	NumBits int
+	// FirstOptional is the index of the first optional variable; all
+	// variables from it onward are optional.
+	FirstOptional int
+}
+
+// MinSS returns the lowest structural score any answer of this plan can
+// have (all encoded relaxations unsatisfied).
+func (p *Plan) MinSS() float64 { return p.Base - p.DroppedPenalty }
+
+// Mode selects the intermediate-result organization, the axis along which
+// SSO and Hybrid differ (§5.2.2-5.2.3).
+type Mode int8
+
+const (
+	// ModeSorted keeps the intermediate tuple list sorted by score after
+	// every join, as SSO does; the sort cost is SSO's bottleneck.
+	ModeSorted Mode = iota
+	// ModeBuckets groups intermediate tuples into buckets keyed by the
+	// set of satisfied predicates, as Hybrid does; no score sorting is
+	// ever performed.
+	ModeBuckets
+	// ModeExhaustive disables threshold pruning (for exactness tests).
+	ModeExhaustive
+)
+
+// PipelineStats reports work counters from a plan execution.
+type PipelineStats struct {
+	JoinSteps       int
+	TuplesGenerated int
+	TuplesPruned    int
+	SortOps         int
+	SortedTuples    int
+	Buckets         int
+}
+
+// StepTrace records what one join step of a plan execution did, for
+// EXPLAIN ANALYZE style introspection.
+type StepTrace struct {
+	// Var describes the variable joined at this step.
+	Var string
+	// Candidates is the size of the variable's leaf (candidate list).
+	Candidates int
+	// TuplesIn/TuplesOut are the intermediate sizes around the join.
+	TuplesIn  int
+	TuplesOut int
+	// Pruned counts tuples dropped by the score threshold at this step.
+	Pruned int
+	// Sorted reports whether the step re-sorted intermediates (SSO);
+	// Buckets is the number of distinct signatures grouped (Hybrid).
+	Sorted  bool
+	Buckets int
+}
+
+// Options controls plan execution.
+type Options struct {
+	// K enables threshold pruning against the K-th best completable
+	// answer; 0 disables pruning.
+	K      int
+	Scheme rank.Scheme
+	Mode   Mode
+	// Parallel fans each join step out over this many goroutines
+	// (<= 1 runs sequentially). Results are deterministic: worker output
+	// is concatenated in input order.
+	Parallel int
+	// DisableBestOnly turns off the dominated-extension optimization for
+	// optional variables (every match is materialized instead of only the
+	// best per tuple). Answers are unchanged; this exists to measure the
+	// optimization (ablation benchmarks).
+	DisableBestOnly bool
+	// Exclude drops candidates for the distinguished variable before they
+	// join: DPO passes the answers of previous relaxation levels here so
+	// that each level only computes new answers (the paper's §5.2.2
+	// avoid-recomputation device, lifted to the distinguished node).
+	Exclude map[xmltree.NodeID]bool
+	// Stats, when non-nil, accumulates work counters.
+	Stats *PipelineStats
+	// Trace, when non-nil, receives one StepTrace per join step.
+	Trace *[]StepTrace
+}
+
+// Answer is a scored query answer: a binding of the distinguished variable
+// together with the best score over all matches producing it, and the
+// signature of satisfied optional predicates of that best match.
+type Answer struct {
+	Node  xmltree.NodeID
+	Score rank.Score
+	Sig   uint64
+}
+
+type tuple struct {
+	bind     []xmltree.NodeID
+	regained float64
+	ks       float64
+	sig      uint64
+}
+
+// Run executes the plan and returns the distinct distinguished-node
+// answers, best score first under the chosen scheme.
+func Run(p *Plan, opts Options) []Answer {
+	doc := p.Doc
+	nv := len(p.Vars)
+	st := opts.Stats
+	if st == nil {
+		st = &PipelineStats{}
+	}
+
+	// Per-variable maximum future gains, for threshold pruning.
+	ssGain := make([]float64, nv+1)
+	ksGain := make([]float64, nv+1)
+	for i := nv - 1; i >= 0; i-- {
+		v := &p.Vars[i]
+		ss, ks := 0.0, 0.0
+		for _, b := range v.Bonus {
+			ss += b.Penalty
+		}
+		for _, c := range v.Contains {
+			if c.Required {
+				ks += c.Weight
+			} else {
+				ss += c.Penalty
+			}
+		}
+		ssGain[i] = ssGain[i+1] + ss
+		ksGain[i] = ksGain[i+1] + ks
+	}
+	growth := func(nextVar int) float64 {
+		switch opts.Scheme {
+		case rank.StructureFirst:
+			return ssGain[nextVar]
+		case rank.KeywordFirst:
+			return ksGain[nextVar]
+		default:
+			return ssGain[nextVar] + ksGain[nextVar]
+		}
+	}
+
+	baseSS := p.Base - p.DroppedPenalty
+	total := func(t *tuple) float64 {
+		s := rank.Score{SS: baseSS + t.regained, KS: t.ks}
+		return s.Total(opts.Scheme)
+	}
+
+	// An optional variable whose binding no later variable refers to only
+	// contributes its own score gains; among the matches for one tuple,
+	// every extension except the best-scoring one is dominated, so only
+	// the best is kept. Variables referenced by later bonus predicates or
+	// checks must keep all their bindings.
+	refLater := make([]bool, nv)
+	hasRelax := false
+	for vi := range p.Vars {
+		v := &p.Vars[vi]
+		for _, b := range v.Bonus {
+			refLater[b.Other] = true
+			hasRelax = true
+		}
+		for _, c := range v.Checks {
+			refLater[c.Other] = true
+		}
+		if v.Rel == RelOptional {
+			hasRelax = true
+		}
+		for _, c := range v.Contains {
+			if !c.Required {
+				hasRelax = true
+			}
+		}
+	}
+
+	// Evaluate each plan variable's "leaf": the sorted candidate list
+	// satisfying its tag(s), value predicates and required contains
+	// predicates (the evaluateLeaf of the paper's Hybrid pseudo-code).
+	leaves := make([][]xmltree.NodeID, nv)
+	for vi := range p.Vars {
+		leaves[vi] = evaluateLeaf(doc, &p.Vars[vi])
+	}
+
+	tuples := []tuple{{bind: unboundBindings(nv)}}
+	for vi := 0; vi < nv; vi++ {
+		v := &p.Vars[vi]
+		bestOnly := v.Rel == RelOptional && !refLater[vi] && !opts.DisableBestOnly
+		st.JoinSteps++
+		tuplesIn := len(tuples)
+		excludeHere := vi == p.DistVar && len(opts.Exclude) > 0
+		joinChunk := func(chunk []tuple) []tuple {
+			var out []tuple
+			// Bindings for this chunk's output tuples are carved out of
+			// block allocations instead of one slice per tuple; binding
+			// slices are immutable once created, so sharing blocks is
+			// safe.
+			var arena []xmltree.NodeID
+			newBind := func(src []xmltree.NodeID) []xmltree.NodeID {
+				if len(arena) < nv {
+					arena = make([]xmltree.NodeID, 1024*nv)
+				}
+				b := arena[:nv:nv]
+				arena = arena[nv:]
+				copy(b, src)
+				return b
+			}
+			for ti := range chunk {
+				t := &chunk[ti]
+				matched := false
+				var best tuple
+				for _, m := range candidatesFor(doc, v, leaves[vi], t) {
+					if excludeHere && opts.Exclude[m] {
+						continue
+					}
+					if !checksOK(doc, v, t, m) {
+						continue
+					}
+					nt := extend(doc, v, t, vi, m, newBind)
+					if bestOnly {
+						if !matched || better(&nt, &best, opts.Scheme) {
+							best = nt
+						}
+						matched = true
+						continue
+					}
+					out = append(out, nt)
+					matched = true
+				}
+				if bestOnly && matched {
+					out = append(out, best)
+				}
+				if !matched && v.Rel == RelOptional {
+					nt := tuple{bind: newBind(t.bind),
+						regained: t.regained, ks: t.ks, sig: t.sig}
+					out = append(out, nt)
+				}
+			}
+			return out
+		}
+		var next []tuple
+		if workers := opts.Parallel; workers > 1 && len(tuples) >= 4*workers {
+			parts := make([][]tuple, workers)
+			var wg sync.WaitGroup
+			chunk := (len(tuples) + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				lo := w * chunk
+				hi := lo + chunk
+				if lo >= len(tuples) {
+					break
+				}
+				if hi > len(tuples) {
+					hi = len(tuples)
+				}
+				wg.Add(1)
+				go func(w, lo, hi int) {
+					defer wg.Done()
+					parts[w] = joinChunk(tuples[lo:hi])
+				}(w, lo, hi)
+			}
+			wg.Wait()
+			for _, p := range parts {
+				next = append(next, p...)
+			}
+		} else {
+			next = joinChunk(tuples)
+		}
+		st.TuplesGenerated += len(next)
+		tuples = next
+		trace := StepTrace{
+			Var:        "$" + itoa(v.VarID) + " " + v.Tag,
+			Candidates: len(leaves[vi]),
+			TuplesIn:   tuplesIn,
+			TuplesOut:  len(tuples),
+		}
+		if len(tuples) == 0 {
+			if opts.Trace != nil {
+				*opts.Trace = append(*opts.Trace, trace)
+			}
+			return nil
+		}
+
+		// Threshold pruning: once every required variable is bound, each
+		// tuple is guaranteed to complete into an answer, so the K-th best
+		// current score over distinct distinguished nodes is a valid lower
+		// bound for the final top-K cut-off.
+		pruneActive := opts.K > 0 && opts.Mode != ModeExhaustive && vi+1 >= p.FirstOptional && vi+1 < nv
+		if pruneActive {
+			threshold, ok := kthBest(tuples, p.DistVar, opts.K, total)
+			if ok {
+				g := growth(vi + 1)
+				kept := tuples[:0]
+				for ti := range tuples {
+					if total(&tuples[ti])+g < threshold {
+						st.TuplesPruned++
+						trace.Pruned++
+						continue
+					}
+					kept = append(kept, tuples[ti])
+				}
+				tuples = kept
+			}
+		}
+
+		// SSO keeps intermediate answers sorted on score whenever the
+		// plan encodes relaxations (scores vary, so the K-th score must
+		// be tracked for pruning, §5.2.2); this resort at every join is
+		// the cost Hybrid's buckets avoid. A plan with no relaxations
+		// encoded has nothing to sort or group for either algorithm.
+		organize := opts.K > 0 && hasRelax && vi+1 < nv
+		switch {
+		case opts.Mode == ModeSorted && organize:
+			keys := make([]float64, len(tuples))
+			for i := range tuples {
+				keys[i] = total(&tuples[i])
+			}
+			idx := make([]int, len(tuples))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] > keys[idx[b]] })
+			sorted := make([]tuple, len(tuples))
+			for pos, i := range idx {
+				sorted[pos] = tuples[i]
+			}
+			tuples = sorted
+			st.SortOps++
+			st.SortedTuples += len(tuples)
+			trace.Sorted = true
+		case opts.Mode == ModeBuckets && organize:
+			// Hybrid groups tuples into buckets keyed by their
+			// satisfied-predicate signature. Each tuple already carries
+			// its signature, and a bucket's structural score is a pure
+			// function of the signature, so the buckets are implicit: no
+			// physical reordering and no comparison sort ever happens —
+			// the organization cost is one counting pass (§5.2.3).
+			sigIdx := make(map[uint64]struct{}, 16)
+			for ti := range tuples {
+				sigIdx[tuples[ti].sig] = struct{}{}
+			}
+			st.Buckets += len(sigIdx)
+			trace.Buckets = len(sigIdx)
+		}
+		if opts.Trace != nil {
+			trace.TuplesOut = len(tuples)
+			*opts.Trace = append(*opts.Trace, trace)
+		}
+	}
+
+	// Aggregate per distinguished node, best score wins.
+	best := make(map[xmltree.NodeID]Answer, len(tuples))
+	for ti := range tuples {
+		t := &tuples[ti]
+		n := t.bind[p.DistVar]
+		sc := rank.Score{SS: baseSS + t.regained, KS: t.ks}
+		if prev, ok := best[n]; !ok || sc.Compare(prev.Score, opts.Scheme) > 0 {
+			best[n] = Answer{Node: n, Score: sc, Sig: t.sig}
+		}
+	}
+	out := make([]Answer, 0, len(best))
+	for _, a := range best {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Score.Compare(out[j].Score, opts.Scheme); c != 0 {
+			return c > 0
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+func unboundBindings(n int) []xmltree.NodeID {
+	b := make([]xmltree.NodeID, n)
+	for i := range b {
+		b[i] = xmltree.InvalidNode
+	}
+	return b
+}
+
+// evaluateLeaf computes the sorted candidate list for one plan variable:
+// nodes with one of its tags that satisfy its value predicates and
+// required contains predicates.
+//
+// When the variable carries a required contains predicate whose witness
+// set is much smaller than the tag occurrence list, candidates are built
+// by walking up from the inverted-index witnesses instead of scanning the
+// tag list — the "tighter integration of structure and keyword indices"
+// the paper's conclusion names as future work. Both paths produce the
+// same sorted list.
+func evaluateLeaf(doc *xmltree.Document, v *VarSpec) []xmltree.NodeID {
+	var base []xmltree.NodeID
+	if len(v.Tags) <= 1 {
+		tag := v.Tag
+		if len(v.Tags) == 1 {
+			tag = v.Tags[0]
+		}
+		base = doc.NodesWithTag(tag)
+	} else {
+		lists := make([][]xmltree.NodeID, 0, len(v.Tags))
+		for _, t := range v.Tags {
+			if l := doc.NodesWithTag(t); len(l) > 0 {
+				lists = append(lists, l)
+			}
+		}
+		base = mergeSorted(lists)
+	}
+	var smallest *ir.Result
+	for i := range v.Contains {
+		if c := &v.Contains[i]; c.Required {
+			if smallest == nil || c.Res.Len() < smallest.Len() {
+				smallest = c.Res
+			}
+		}
+	}
+	// Witness-first leaf construction: profitable when walking every
+	// witness ancestor chain touches fewer nodes than scanning the tag
+	// list (the factor 16 over-approximates typical document depth).
+	if smallest != nil && smallest.Len()*16 < len(base) {
+		base = contextsOf(doc, smallest, v)
+	}
+	needFilter := len(v.Values) > 0
+	for _, c := range v.Contains {
+		if c.Required {
+			needFilter = true
+		}
+	}
+	if !needFilter {
+		return base
+	}
+	out := make([]xmltree.NodeID, 0, len(base))
+candidates:
+	for _, m := range base {
+		for _, vp := range v.Values {
+			if !EvalValuePred(doc, m, vp) {
+				continue candidates
+			}
+		}
+		for _, c := range v.Contains {
+			if c.Required && !c.Res.Satisfies(m) {
+				continue candidates
+			}
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// mergeSorted merges sorted NodeID lists into one sorted list.
+func mergeSorted(lists [][]xmltree.NodeID) []xmltree.NodeID {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]xmltree.NodeID, 0, total)
+	idx := make([]int, len(lists))
+	for {
+		best := -1
+		for i, l := range lists {
+			if idx[i] >= len(l) {
+				continue
+			}
+			if best == -1 || l[idx[i]] < lists[best][idx[best]] {
+				best = i
+			}
+		}
+		if best == -1 {
+			return out
+		}
+		out = append(out, lists[best][idx[best]])
+		idx[best]++
+	}
+}
+
+func candidatesFor(doc *xmltree.Document, v *VarSpec, leaf []xmltree.NodeID, t *tuple) []xmltree.NodeID {
+	switch v.Rel {
+	case RelRoot:
+		return leaf
+	case RelParent:
+		anchor := t.bind[v.Anchor]
+		in := DescendantsInRange(doc, leaf, anchor)
+		out := make([]xmltree.NodeID, 0, len(in))
+		for _, m := range in {
+			if doc.Parent(m) == anchor {
+				out = append(out, m)
+			}
+		}
+		return out
+	default: // RelAncestor, RelOptional
+		return DescendantsInRange(doc, leaf, t.bind[v.Anchor])
+	}
+}
+
+// better orders two candidate extensions of the same tuple: higher
+// (regained, ks) under the scheme's primary component first.
+func better(a, b *tuple, scheme rank.Scheme) bool {
+	sa := rank.Score{SS: a.regained, KS: a.ks}
+	sb := rank.Score{SS: b.regained, KS: b.ks}
+	return sa.Compare(sb, scheme) > 0
+}
+
+func checksOK(doc *xmltree.Document, v *VarSpec, t *tuple, m xmltree.NodeID) bool {
+	for _, c := range v.Checks {
+		o := t.bind[c.Other]
+		if o == xmltree.InvalidNode {
+			return false
+		}
+		if c.Parent {
+			if doc.Parent(m) != o {
+				return false
+			}
+		} else if !doc.IsAncestor(o, m) {
+			return false
+		}
+	}
+	return true
+}
+
+func extend(doc *xmltree.Document, v *VarSpec, t *tuple, vi int, m xmltree.NodeID, newBind func([]xmltree.NodeID) []xmltree.NodeID) tuple {
+	bind := newBind(t.bind)
+	bind[vi] = m
+	nt := tuple{bind: bind, regained: t.regained, ks: t.ks, sig: t.sig}
+	for _, b := range v.Bonus {
+		o := t.bind[b.Other]
+		if o == xmltree.InvalidNode {
+			continue
+		}
+		anc, desc := m, o
+		if b.OtherIsAncestor {
+			anc, desc = o, m
+		}
+		var ok bool
+		if b.Parent {
+			ok = doc.Parent(desc) == anc
+		} else {
+			ok = doc.IsAncestor(anc, desc)
+		}
+		if ok {
+			nt.regained += b.Penalty
+			nt.sig |= 1 << b.Bit
+		}
+	}
+	for _, c := range v.Contains {
+		if c.Required {
+			nt.ks += c.Weight * c.Res.ScoreWithin(m)
+		} else if c.Res.Satisfies(m) {
+			nt.regained += c.Penalty
+			nt.sig |= 1 << c.Bit
+		}
+	}
+	return nt
+}
+
+// kthBest returns the K-th best current total over distinct distinguished
+// bindings, or ok=false when fewer than K distinct bindings exist.
+func kthBest(tuples []tuple, distVar, k int, total func(*tuple) float64) (float64, bool) {
+	bestPer := make(map[xmltree.NodeID]float64, len(tuples))
+	for ti := range tuples {
+		t := &tuples[ti]
+		n := t.bind[distVar]
+		if n == xmltree.InvalidNode {
+			continue
+		}
+		v := total(t)
+		if prev, ok := bestPer[n]; !ok || v > prev {
+			bestPer[n] = v
+		}
+	}
+	if len(bestPer) < k {
+		return 0, false
+	}
+	vals := make([]float64, 0, len(bestPer))
+	for _, v := range bestPer {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	return vals[len(vals)-k], true
+}
+
+// contextsOf collects the distinct ancestors-or-self of the result's
+// witnesses that carry one of the variable's tags, sorted in document
+// order.
+func contextsOf(doc *xmltree.Document, r *ir.Result, v *VarSpec) []xmltree.NodeID {
+	want := map[xmltree.TagID]bool{}
+	if len(v.Tags) == 0 {
+		if id := doc.TagByName(v.Tag); id != xmltree.InvalidTag {
+			want[id] = true
+		}
+	} else {
+		for _, t := range v.Tags {
+			if id := doc.TagByName(t); id != xmltree.InvalidTag {
+				want[id] = true
+			}
+		}
+	}
+	if len(want) == 0 {
+		return nil
+	}
+	scratch := acquireScratch(doc.Len())
+	var out []xmltree.NodeID
+	for wi := 0; wi < r.Len(); wi++ {
+		for a := r.Node(wi); a != xmltree.InvalidNode; a = doc.Parent(a) {
+			if scratch.epoch[a] == scratch.cur {
+				break
+			}
+			scratch.epoch[a] = scratch.cur
+			if want[doc.Tag(a)] {
+				out = append(out, a)
+			}
+		}
+	}
+	walkPool.Put(scratch)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// itoa is strconv.Itoa without the import churn in this hot file.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

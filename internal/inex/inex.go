@@ -1,0 +1,206 @@
+// Package inex generates synthetic scholarly-article collections in the
+// spirit of the IEEE INEX and ACM SIGMOD Record corpora that motivate the
+// FleXPath paper's introduction: documents that are heterogeneous in
+// structure and rich in text.
+//
+// The generated articles vary exactly along the axes the paper's
+// introduction discusses. Keywords relevant to a query may appear in a
+// paragraph inside a section (query Q1's exact shape), in the section
+// title instead (caught by contains promotion, Q2), with the algorithm
+// element outside the keyword section (caught by subtree promotion, Q3),
+// or only at the article level (caught by repeated relaxation, Q6). All
+// shapes occur with fixed probabilities, so relaxation levels partition
+// the corpus predictably.
+//
+// Like the xmark generator, generation is deterministic per Config.
+package inex
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"flexpath/internal/xmltree"
+)
+
+// Config controls collection generation.
+type Config struct {
+	// Articles is the number of article elements.
+	Articles int
+	// Seed selects the pseudo-random stream.
+	Seed int64
+}
+
+// topics are the "hot" subject words queries search for.
+var topics = []string{"xml", "streaming", "query", "index", "join", "relaxation"}
+
+var filler = []string{
+	"evaluation", "system", "cost", "model", "data", "structure", "tree",
+	"pattern", "match", "result", "rank", "score", "engine", "plan",
+	"operator", "semantics", "language", "storage", "cache", "memory",
+	"disk", "parallel", "distributed", "experiment", "benchmark",
+	"measure", "analysis", "method", "approach", "framework", "algorithm",
+	"optimization", "selectivity", "estimate", "statistics", "histogram",
+	"relational", "document", "element", "attribute", "predicate", "path",
+	"node", "edge", "label", "keyword", "search", "retrieval", "relevance",
+	"precision", "recall", "corpus", "collection", "fragment", "schema",
+}
+
+var authors = []string{
+	"chen", "gupta", "martin", "silva", "tanaka", "olsen", "kim", "patel",
+	"novak", "russo", "weber", "lindqvist", "moreau", "haddad", "fischer",
+}
+
+type gen struct {
+	r   *rand.Rand
+	b   *xmltree.Builder
+	seq int
+}
+
+// Build constructs the collection as a parsed document.
+func Build(cfg Config) (*xmltree.Document, error) {
+	if cfg.Articles <= 0 {
+		cfg.Articles = 100
+	}
+	g := &gen{r: rand.New(rand.NewSource(cfg.Seed)), b: xmltree.NewBuilder()}
+	g.b.Open("collection")
+	for i := 0; i < cfg.Articles; i++ {
+		g.article()
+	}
+	g.b.Close()
+	d, err := g.b.Document()
+	if err != nil {
+		return nil, fmt.Errorf("inex: %w", err)
+	}
+	return d, nil
+}
+
+// Generate writes the collection as XML text.
+func Generate(w io.Writer, cfg Config) error {
+	d, err := Build(cfg)
+	if err != nil {
+		return err
+	}
+	return d.WriteXML(w, d.Root())
+}
+
+func (g *gen) words(n int, topicProb float64) string {
+	buf := make([]byte, 0, n*9)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		if g.r.Float64() < topicProb {
+			buf = append(buf, topics[g.r.Intn(len(topics))]...)
+		} else {
+			buf = append(buf, filler[g.r.Intn(len(filler))]...)
+		}
+	}
+	return string(buf)
+}
+
+func (g *gen) element(tag, text string) {
+	g.b.Open(tag)
+	g.b.Text(text)
+	g.b.Close()
+}
+
+// article emits one article with one of several structural shapes. The
+// shape distribution is chosen so the Figure 1 relaxation ladder
+// partitions the collection:
+//
+//	~20%  exact Q1 shape: section with algorithm and topic paragraph
+//	~15%  topics in the section title, algorithm present (Q2 shape)
+//	~15%  algorithm in an appendix, topic paragraph in a section (Q3)
+//	~15%  topics only in the title/abstract (Q6 shape)
+//	~35%  off-topic
+func (g *gen) article() {
+	g.seq++
+	g.b.Open("article", xmltree.Attr{Name: "id", Value: fmt.Sprintf("a%d", g.seq)})
+	shape := g.r.Float64()
+	onTopic := shape < 0.65
+
+	titleTopic := 0.05
+	if shape >= 0.50 && shape < 0.65 {
+		titleTopic = 0.8 // Q6 shape: topics at the article level only
+	}
+	g.element("title", g.words(3+g.r.Intn(5), titleTopic))
+	for i := 0; i <= g.r.Intn(3); i++ {
+		g.element("author", authors[g.r.Intn(len(authors))])
+	}
+	if g.r.Float64() < 0.5 {
+		abstractTopic := 0.04
+		if shape >= 0.50 && shape < 0.65 {
+			abstractTopic = 0.5
+		}
+		g.element("abstract", g.words(12+g.r.Intn(20), abstractTopic))
+	}
+
+	nSections := 1 + g.r.Intn(4)
+	keywordSection := g.r.Intn(nSections)
+	for i := 0; i < nSections; i++ {
+		g.section(shape, onTopic && i == keywordSection)
+	}
+
+	// Q3 shape: the algorithm lives outside the sections.
+	if shape >= 0.35 && shape < 0.50 {
+		g.b.Open("appendix")
+		g.element("algorithm", g.words(2+g.r.Intn(3), 0.1))
+		if g.r.Float64() < 0.5 {
+			g.element("paragraph", g.words(8+g.r.Intn(10), 0.05))
+		}
+		g.b.Close()
+	}
+	if g.r.Float64() < 0.4 {
+		g.b.Open("bibliography")
+		for i := 0; i <= g.r.Intn(5); i++ {
+			g.element("cite", g.words(4+g.r.Intn(4), 0.1))
+		}
+		g.b.Close()
+	}
+	g.b.Close()
+}
+
+func (g *gen) section(shape float64, keyworded bool) {
+	g.b.Open("section")
+	switch {
+	case keyworded && shape < 0.20:
+		// Q1 shape: algorithm and a topic paragraph in the same section.
+		g.element("title", g.words(2+g.r.Intn(3), 0.1))
+		g.element("algorithm", g.words(2+g.r.Intn(3), 0.15))
+		g.element("paragraph", g.words(10+g.r.Intn(15), 0.45))
+		g.fillerParagraphs()
+	case keyworded && shape < 0.35:
+		// Q2 shape: topics in the section title, not its paragraphs.
+		g.element("title", g.words(3+g.r.Intn(3), 0.7))
+		g.element("algorithm", g.words(2+g.r.Intn(3), 0.1))
+		g.fillerParagraphs()
+	case keyworded && shape < 0.50:
+		// Q3 shape: topic paragraph here, algorithm elsewhere.
+		g.element("title", g.words(2+g.r.Intn(3), 0.1))
+		g.element("paragraph", g.words(10+g.r.Intn(15), 0.45))
+		g.fillerParagraphs()
+	default:
+		if g.r.Float64() < 0.5 {
+			g.element("title", g.words(2+g.r.Intn(3), 0.02))
+		}
+		if g.r.Float64() < 0.25 {
+			g.element("algorithm", g.words(2+g.r.Intn(3), 0.02))
+		}
+		g.fillerParagraphs()
+		// Heterogeneity: occasional nested subsections.
+		if g.r.Float64() < 0.3 {
+			g.b.Open("subsection")
+			g.element("title", g.words(2, 0.02))
+			g.fillerParagraphs()
+			g.b.Close()
+		}
+	}
+	g.b.Close()
+}
+
+func (g *gen) fillerParagraphs() {
+	for i := 0; i <= g.r.Intn(3); i++ {
+		g.element("paragraph", g.words(8+g.r.Intn(14), 0.03))
+	}
+}

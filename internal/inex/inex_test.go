@@ -1,0 +1,133 @@
+package inex
+
+import (
+	"bytes"
+	"testing"
+
+	"flexpath/internal/xmltree"
+)
+
+func TestBuildDeterminism(t *testing.T) {
+	a, err := Build(Config{Articles: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(Config{Articles: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("non-deterministic sizes: %d vs %d", a.Len(), b.Len())
+	}
+	for n := xmltree.NodeID(0); int(n) < a.Len(); n++ {
+		if a.TagName(n) != b.TagName(n) || a.Text(n) != b.Text(n) {
+			t.Fatalf("node %d differs", n)
+		}
+	}
+	c, err := Build(Config{Articles: 50, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() == a.Len() {
+		same := true
+		for n := xmltree.NodeID(0); int(n) < a.Len(); n++ {
+			if a.Text(n) != c.Text(n) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical collections")
+		}
+	}
+}
+
+func TestArticleCount(t *testing.T) {
+	d, err := Build(Config{Articles: 120, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.NodesWithTag("article")); got != 120 {
+		t.Errorf("articles = %d, want 120", got)
+	}
+	if got := len(d.NodesWithTag("collection")); got != 1 {
+		t.Errorf("collections = %d", got)
+	}
+	// Default count when unset.
+	d, err = Build(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.NodesWithTag("article")); got != 100 {
+		t.Errorf("default articles = %d, want 100", got)
+	}
+}
+
+// TestShapeDistribution: the four ladder shapes all occur, in roughly the
+// documented proportions.
+func TestShapeDistribution(t *testing.T) {
+	d, err := Build(Config{Articles: 400, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, a := range d.NodesWithTag("article") {
+		hasAppendixAlgo := false
+		hasSectionAlgo := false
+		for _, alg := range d.NodesWithTag("algorithm") {
+			if !d.IsAncestor(a, alg) {
+				continue
+			}
+			switch d.TagName(d.Parent(alg)) {
+			case "appendix":
+				hasAppendixAlgo = true
+			case "section":
+				hasSectionAlgo = true
+			}
+		}
+		if hasAppendixAlgo {
+			counts["appendix-algo"]++
+		}
+		if hasSectionAlgo {
+			counts["section-algo"]++
+		}
+	}
+	if counts["appendix-algo"] < 20 {
+		t.Errorf("too few Q3-shape articles: %d", counts["appendix-algo"])
+	}
+	if counts["section-algo"] < 50 {
+		t.Errorf("too few section algorithms: %d", counts["section-algo"])
+	}
+}
+
+func TestGenerateParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Generate(&buf, Config{Articles: 30, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := xmltree.Parse(&buf)
+	if err != nil {
+		t.Fatalf("generated XML does not parse: %v", err)
+	}
+	if got := len(d.NodesWithTag("article")); got != 30 {
+		t.Errorf("reparsed articles = %d", got)
+	}
+}
+
+func TestHeterogeneity(t *testing.T) {
+	d, err := Build(Config{Articles: 200, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subsections, appendices and abstracts must all occur, but not
+	// everywhere (structural heterogeneity).
+	for _, tag := range []string{"subsection", "appendix", "abstract", "bibliography"} {
+		n := len(d.NodesWithTag(tag))
+		if n == 0 {
+			t.Errorf("no %s elements", tag)
+		}
+		if n >= 200 && tag != "abstract" {
+			t.Errorf("%s occurs %d times, suspiciously homogeneous", tag, n)
+		}
+	}
+}

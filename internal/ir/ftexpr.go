@@ -1,0 +1,361 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Expr is a full-text search expression (the FTExp of the paper's
+// contains($i, FTExp) predicate). Expressions are immutable; Canon gives a
+// canonical string form used for equality and map keys.
+type Expr interface {
+	// Canon returns a canonical, parseable representation.
+	Canon() string
+	exprNode()
+}
+
+// Term matches a single (stemmed) word anywhere in the context subtree.
+type Term struct{ Word string }
+
+// Phrase matches the words in order at consecutive token positions.
+type Phrase struct{ Words []string }
+
+// And matches contexts satisfying every operand.
+type And struct{ Exprs []Expr }
+
+// Or matches contexts satisfying at least one operand.
+type Or struct{ Exprs []Expr }
+
+// Near matches when all words occur within a window of Window token
+// positions.
+type Near struct {
+	Words  []string
+	Window int
+}
+
+// AndNot matches the most specific elements satisfying Pos whose subtrees
+// contain no match of Neg. Negation is scoped to the most-specific match
+// so that the match set stays upward-closed within ancestor chains (a
+// requirement of the relaxation framework's contains inference rule).
+type AndNot struct {
+	Pos Expr
+	Neg Expr
+}
+
+func (Term) exprNode()   {}
+func (Phrase) exprNode() {}
+func (And) exprNode()    {}
+func (Or) exprNode()     {}
+func (Near) exprNode()   {}
+func (AndNot) exprNode() {}
+
+// Canon implements Expr.
+func (t Term) Canon() string { return quoteWord(t.Word) }
+
+// Canon implements Expr.
+func (p Phrase) Canon() string { return `"` + strings.Join(p.Words, " ") + `"` }
+
+// Canon implements Expr.
+func (a And) Canon() string { return canonList(a.Exprs, " and ") }
+
+// Canon implements Expr.
+func (o Or) Canon() string { return canonList(o.Exprs, " or ") }
+
+// Canon implements Expr.
+func (n Near) Canon() string {
+	parts := make([]string, len(n.Words))
+	for i, w := range n.Words {
+		parts[i] = quoteWord(w)
+	}
+	return fmt.Sprintf("near(%s, %d)", strings.Join(parts, " "), n.Window)
+}
+
+// Canon implements Expr.
+func (an AndNot) Canon() string {
+	return "(" + an.Pos.Canon() + " and not " + an.Neg.Canon() + ")"
+}
+
+func quoteWord(w string) string { return `"` + w + `"` }
+
+func canonList(es []Expr, sep string) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.Canon()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+// Terms returns the distinct stemmed words an expression refers to.
+func Terms(e Expr) []string {
+	seen := map[string]bool{}
+	var out []string
+	var walk func(Expr)
+	add := func(w string) {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	walk = func(e Expr) {
+		switch t := e.(type) {
+		case Term:
+			add(t.Word)
+		case Phrase:
+			for _, w := range t.Words {
+				add(w)
+			}
+		case Near:
+			for _, w := range t.Words {
+				add(w)
+			}
+		case And:
+			for _, c := range t.Exprs {
+				walk(c)
+			}
+		case Or:
+			for _, c := range t.Exprs {
+				walk(c)
+			}
+		case AndNot:
+			walk(t.Pos)
+			walk(t.Neg)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// ParseExpr parses the full-text expression grammar:
+//
+//	expr    := orExpr
+//	orExpr  := andExpr ( "or" andExpr )*
+//	andExpr := unary ( "and" unary )*
+//	unary   := "not" unary | primary
+//	primary := "(" expr ")"
+//	         | "near" "(" word+ "," INT ")"
+//	         | QUOTED            // one word: term; several: phrase
+//	         | WORD              // bare term
+//
+// "not" may only appear as the right-hand side of a conjunction ("x and
+// not y"); a top-level bare negation has no monotone semantics and is
+// rejected. Words are normalized with the same tokenizer used at indexing
+// time, so "Streaming" parses to the term "stream".
+func ParseExpr(s string) (Expr, error) {
+	p := &exprParser{src: s}
+	p.next()
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok != tokEOF {
+		return nil, fmt.Errorf("ir: unexpected %q at offset %d", p.lit, p.off)
+	}
+	return e, nil
+}
+
+// MustParseExpr is ParseExpr but panics on error; for tests and constants.
+func MustParseExpr(s string) Expr {
+	e, err := ParseExpr(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type exprToken int
+
+const (
+	tokEOF exprToken = iota
+	tokWord
+	tokQuoted
+	tokLParen
+	tokRParen
+	tokComma
+	tokInt
+)
+
+type exprParser struct {
+	src string
+	pos int
+	off int
+	tok exprToken
+	lit string
+}
+
+func (p *exprParser) next() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	p.off = p.pos
+	if p.pos >= len(p.src) {
+		p.tok = tokEOF
+		p.lit = ""
+		return
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '(':
+		p.pos++
+		p.tok, p.lit = tokLParen, "("
+	case c == ')':
+		p.pos++
+		p.tok, p.lit = tokRParen, ")"
+	case c == ',':
+		p.pos++
+		p.tok, p.lit = tokComma, ","
+	case c == '"' || c == '\'':
+		quote := c
+		end := p.pos + 1
+		for end < len(p.src) && p.src[end] != quote {
+			end++
+		}
+		if end >= len(p.src) {
+			p.tok, p.lit = tokQuoted, p.src[p.pos+1:]
+			p.pos = len(p.src)
+			return
+		}
+		p.tok, p.lit = tokQuoted, p.src[p.pos+1:end]
+		p.pos = end + 1
+	case c >= '0' && c <= '9':
+		end := p.pos
+		for end < len(p.src) && p.src[end] >= '0' && p.src[end] <= '9' {
+			end++
+		}
+		p.tok, p.lit = tokInt, p.src[p.pos:end]
+		p.pos = end
+	default:
+		end := p.pos
+		for end < len(p.src) && !strings.ContainsRune(`(),"' `, rune(p.src[end])) && !unicode.IsSpace(rune(p.src[end])) {
+			end++
+		}
+		p.tok, p.lit = tokWord, p.src[p.pos:end]
+		p.pos = end
+	}
+}
+
+func (p *exprParser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Expr{left}
+	for p.tok == tokWord && strings.EqualFold(p.lit, "or") {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, right)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return Or{Exprs: parts}, nil
+}
+
+func (p *exprParser) parseAnd() (Expr, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	cur := left
+	for p.tok == tokWord && strings.EqualFold(p.lit, "and") {
+		p.next()
+		if p.tok == tokWord && strings.EqualFold(p.lit, "not") {
+			p.next()
+			neg, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			cur = AndNot{Pos: cur, Neg: neg}
+			continue
+		}
+		right, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		if a, ok := cur.(And); ok {
+			a.Exprs = append(a.Exprs, right)
+			cur = a
+		} else {
+			cur = And{Exprs: []Expr{cur, right}}
+		}
+	}
+	return cur, nil
+}
+
+func (p *exprParser) parsePrimary() (Expr, error) {
+	switch p.tok {
+	case tokLParen:
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok != tokRParen {
+			return nil, fmt.Errorf("ir: missing ) at offset %d", p.off)
+		}
+		p.next()
+		return e, nil
+	case tokQuoted:
+		words := Tokenize(p.lit)
+		p.next()
+		if len(words) == 0 {
+			return nil, fmt.Errorf("ir: quoted expression contains no index terms")
+		}
+		if len(words) == 1 {
+			return Term{Word: words[0]}, nil
+		}
+		return Phrase{Words: words}, nil
+	case tokWord:
+		if strings.EqualFold(p.lit, "not") {
+			return nil, fmt.Errorf("ir: bare negation is not supported; use \"x and not y\"")
+		}
+		if strings.EqualFold(p.lit, "near") {
+			return p.parseNear()
+		}
+		words := Tokenize(p.lit)
+		p.next()
+		if len(words) == 0 {
+			return nil, fmt.Errorf("ir: word is a stopword and cannot be searched alone")
+		}
+		return Term{Word: words[0]}, nil
+	default:
+		return nil, fmt.Errorf("ir: unexpected %q at offset %d", p.lit, p.off)
+	}
+}
+
+func (p *exprParser) parseNear() (Expr, error) {
+	p.next() // consume "near"
+	if p.tok != tokLParen {
+		return nil, fmt.Errorf("ir: near requires ( at offset %d", p.off)
+	}
+	p.next()
+	var words []string
+	for p.tok == tokWord || p.tok == tokQuoted {
+		words = append(words, Tokenize(p.lit)...)
+		p.next()
+	}
+	if p.tok != tokComma {
+		return nil, fmt.Errorf("ir: near requires a trailing window, e.g. near(a b, 5)")
+	}
+	p.next()
+	if p.tok != tokInt {
+		return nil, fmt.Errorf("ir: near window must be an integer at offset %d", p.off)
+	}
+	window, err := strconv.Atoi(p.lit)
+	if err != nil || window < 1 {
+		return nil, fmt.Errorf("ir: invalid near window %q", p.lit)
+	}
+	p.next()
+	if p.tok != tokRParen {
+		return nil, fmt.Errorf("ir: missing ) after near at offset %d", p.off)
+	}
+	p.next()
+	if len(words) < 2 {
+		return nil, fmt.Errorf("ir: near requires at least two terms")
+	}
+	return Near{Words: words, Window: window}, nil
+}

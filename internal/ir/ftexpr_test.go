@@ -1,0 +1,113 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseExprForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // canonical form
+	}{
+		{`"XML"`, `"xml"`},
+		{`xml`, `"xml"`},
+		{`"XML" and "streaming"`, `("xml" and "stream")`},
+		{`xml and streaming and gold`, `("xml" and "stream" and "gold")`},
+		{`xml or gold`, `("xml" or "gold")`},
+		{`(xml or gold) and silver`, `(("xml" or "gold") and "silver")`},
+		{`"rare gold ring"`, `"rare gold ring"`},
+		{`xml and not gold`, `("xml" and not "gold")`},
+		{`near(xml streaming, 5)`, `near("xml" "stream", 5)`},
+		{`XML AND Streaming`, `("xml" and "stream")`},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.in)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", c.in, err)
+			continue
+		}
+		if got := e.Canon(); got != c.want {
+			t.Errorf("ParseExpr(%q).Canon() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseExprRoundTrip(t *testing.T) {
+	exprs := []string{
+		`"xml"`,
+		`("xml" and "stream")`,
+		`("xml" or "gold")`,
+		`"rare gold ring"`,
+		`("xml" and not "gold")`,
+		`near("xml" "stream", 4)`,
+		`(("alpha" or "beta") and "gamma")`,
+	}
+	for _, src := range exprs {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		e2, err := ParseExpr(e.Canon())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", e.Canon(), err)
+		}
+		if e.Canon() != e2.Canon() {
+			t.Errorf("canon not stable: %q -> %q", e.Canon(), e2.Canon())
+		}
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`and`,
+		`not xml`,
+		`xml and`,
+		`(xml`,
+		`near(xml, 5)`,
+		`near(xml gold)`,
+		`near(xml gold, 0)`,
+		`"the"`, // stopword-only
+		`xml or`,
+	}
+	for _, src := range bad {
+		if _, err := ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestTerms(t *testing.T) {
+	e := MustParseExpr(`("xml" and "stream") or near(gold silver, 3) or "xml"`)
+	got := Terms(e)
+	want := map[string]bool{"xml": true, "stream": true, "gold": true, "silver": true}
+	if len(got) != len(want) {
+		t.Fatalf("Terms = %v", got)
+	}
+	for _, w := range got {
+		if !want[w] {
+			t.Errorf("unexpected term %q", w)
+		}
+	}
+}
+
+func TestMustParseExprPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseExpr did not panic")
+		}
+	}()
+	MustParseExpr("((")
+}
+
+func TestQuotedStopwordsInsidePhrase(t *testing.T) {
+	e := MustParseExpr(`"state of the art"`)
+	p, ok := e.(Phrase)
+	if !ok {
+		t.Fatalf("expected Phrase, got %T", e)
+	}
+	if strings.Join(p.Words, ",") != "state,art" {
+		t.Errorf("phrase words = %v", p.Words)
+	}
+}

@@ -1,0 +1,29 @@
+package ir
+
+import "testing"
+
+// FuzzParseExpr: the expression parser must never panic, and everything
+// it accepts must have a stable, re-parseable canonical form.
+func FuzzParseExpr(f *testing.F) {
+	for _, seed := range []string{
+		`"xml"`, `xml and streaming`, `a or b or c`, `(a and b) or c`,
+		`"two words"`, `near(a b, 5)`, `a and not b`, `"`, `(((`, `near(`,
+		`and`, `not`, `near(a,b)`, `"unterminated`, `a^b`, `🎉 and ünïcode`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseExpr(src)
+		if err != nil {
+			return
+		}
+		canon := e.Canon()
+		e2, err := ParseExpr(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, src, err)
+		}
+		if e2.Canon() != canon {
+			t.Fatalf("canonical form not stable: %q -> %q", canon, e2.Canon())
+		}
+	})
+}

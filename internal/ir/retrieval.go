@@ -1,0 +1,145 @@
+package ir
+
+import (
+	"sort"
+
+	"flexpath/internal/xmltree"
+)
+
+// Match is one ranked full-text retrieval result.
+type Match struct {
+	Node  xmltree.NodeID
+	Score float64
+}
+
+// TopMatches returns the best-scoring most-specific elements satisfying
+// the expression, at most limit of them (limit <= 0 means all). This is
+// the ranked (node, score) list the FleXPath architecture's IR engine
+// hands to the combination step (Figure 7 of the paper); it is also
+// usable standalone as a keyword-search API.
+func (ix *Index) TopMatches(e Expr, limit int) []Match {
+	r := ix.Eval(e)
+	out := make([]Match, r.Len())
+	for i := range out {
+		out[i] = Match{Node: r.Node(i), Score: r.Score(i)}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Node < out[j].Node
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// TopContexts returns the best-scoring elements with the given tag whose
+// subtree satisfies the expression, at most limit of them. This is the
+// "contains predicate with a tag-typed context" view the FleXPath plans
+// consume.
+func (ix *Index) TopContexts(tag string, e Expr, limit int) []Match {
+	r := ix.Eval(e)
+	var out []Match
+	for _, n := range ix.doc.NodesWithTag(tag) {
+		if s := r.ScoreWithin(n); s > 0 || r.Satisfies(n) {
+			out = append(out, Match{Node: n, Score: s})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Node < out[j].Node
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Snippet returns a fragment of the node's subtree text of at most max
+// bytes, centered on the first occurrence of any of the expression's
+// terms, with the document's own casing preserved. It backs result
+// presentation in the CLI and examples.
+func (ix *Index) Snippet(n xmltree.NodeID, e Expr, max int) string {
+	text := ix.doc.SubtreeText(n)
+	if len(text) <= max {
+		return text
+	}
+	terms := Terms(e)
+	pos := -1
+	toks := Tokenize(text)
+	// Find the byte offset of the first matching token by re-scanning.
+	if len(terms) > 0 && len(toks) > 0 {
+		termSet := make(map[string]bool, len(terms))
+		for _, t := range terms {
+			termSet[t] = true
+		}
+		off := 0
+		for off < len(text) {
+			start, end := nextWord(text, off)
+			if start < 0 {
+				break
+			}
+			if termSet[Stem(lower(text[start:end]))] {
+				pos = start
+				break
+			}
+			off = end
+		}
+	}
+	if pos < 0 {
+		return text[:max] + "…"
+	}
+	lo := pos - max/3
+	if lo < 0 {
+		lo = 0
+	}
+	hi := lo + max
+	if hi > len(text) {
+		hi = len(text)
+		lo = hi - max
+		if lo < 0 {
+			lo = 0
+		}
+	}
+	s := text[lo:hi]
+	if lo > 0 {
+		s = "…" + s
+	}
+	if hi < len(text) {
+		s += "…"
+	}
+	return s
+}
+
+func nextWord(s string, from int) (int, int) {
+	i := from
+	for i < len(s) && !isAlnumByte(s[i]) {
+		i++
+	}
+	if i >= len(s) {
+		return -1, -1
+	}
+	j := i
+	for j < len(s) && isAlnumByte(s[j]) {
+		j++
+	}
+	return i, j
+}
+
+func isAlnumByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,82 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTopMatches(t *testing.T) {
+	doc := mustDoc(t, articleXML)
+	ix := NewIndex(doc)
+	matches := ix.TopMatches(MustParseExpr("xml"), 0)
+	if len(matches) == 0 {
+		t.Fatal("no matches")
+	}
+	for i := 1; i < len(matches); i++ {
+		if matches[i].Score > matches[i-1].Score {
+			t.Errorf("matches out of order at %d", i)
+		}
+	}
+	if matches[0].Score != 1 {
+		t.Errorf("top score = %f, want 1 (normalized)", matches[0].Score)
+	}
+	limited := ix.TopMatches(MustParseExpr("xml"), 2)
+	if len(limited) != 2 {
+		t.Errorf("limit ignored: %d", len(limited))
+	}
+	if got := ix.TopMatches(MustParseExpr("absentterm"), 5); len(got) != 0 {
+		t.Errorf("matches for absent term: %v", got)
+	}
+}
+
+func TestTopContexts(t *testing.T) {
+	doc := mustDoc(t, articleXML)
+	ix := NewIndex(doc)
+	articles := ix.TopContexts("article", MustParseExpr("xml"), 0)
+	if len(articles) != 2 {
+		t.Fatalf("xml articles = %d, want 2", len(articles))
+	}
+	for _, m := range articles {
+		if doc.TagName(m.Node) != "article" {
+			t.Errorf("context has tag %q", doc.TagName(m.Node))
+		}
+	}
+	paras := ix.TopContexts("paragraph", MustParseExpr("gold"), 1)
+	if len(paras) != 1 {
+		t.Errorf("gold paragraphs (limit 1) = %d", len(paras))
+	}
+}
+
+func TestSnippet(t *testing.T) {
+	doc := mustDoc(t, `<a><b>`+strings.Repeat("filler words here ", 30)+
+		`the golden treasure appears once `+strings.Repeat("and more filler ", 30)+`</b></a>`)
+	ix := NewIndex(doc)
+	e := MustParseExpr("golden")
+	s := ix.Snippet(0, e, 80)
+	if !strings.Contains(s, "golden") {
+		t.Errorf("snippet does not contain the match: %q", s)
+	}
+	if len(s) > 90 {
+		t.Errorf("snippet too long: %d bytes", len(s))
+	}
+	// Short text returned whole.
+	doc2 := mustDoc(t, `<a>tiny</a>`)
+	ix2 := NewIndex(doc2)
+	if got := ix2.Snippet(0, e, 80); got != "tiny" {
+		t.Errorf("short snippet = %q", got)
+	}
+	// Missing term: prefix fallback.
+	s = ix.Snippet(0, MustParseExpr("absentterm"), 40)
+	if !strings.HasPrefix(s, "filler") || !strings.HasSuffix(s, "…") {
+		t.Errorf("fallback snippet = %q", s)
+	}
+}
+
+func TestSnippetStemmedMatch(t *testing.T) {
+	doc := mustDoc(t, `<a>`+strings.Repeat("pad ", 60)+`systems were Streaming rapidly onward `+strings.Repeat("pad ", 60)+`</a>`)
+	ix := NewIndex(doc)
+	s := ix.Snippet(0, MustParseExpr("stream"), 60)
+	if !strings.Contains(s, "Streaming") {
+		t.Errorf("stemmed snippet missed inflected form: %q", s)
+	}
+}

@@ -1,0 +1,78 @@
+package ir
+
+import (
+	"testing"
+
+	"flexpath/internal/xmltree"
+)
+
+const scoringXML = `<docs>
+  <short>gold</short>
+  <long>gold filler filler filler filler filler filler filler filler filler
+        filler filler filler filler filler filler filler filler filler</long>
+  <twice>gold words gold</twice>
+</docs>`
+
+func TestBM25SameMatchesDifferentScores(t *testing.T) {
+	doc, err := xmltree.ParseString(scoringXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tfidf := NewIndex(doc)
+	bm25 := NewIndexOptions(doc, IndexOptions{Scoring: ScoringBM25})
+	e := MustParseExpr("gold")
+	a, b := tfidf.Eval(e), bm25.Eval(e)
+	if a.Len() != b.Len() {
+		t.Fatalf("match sets differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Node(i) != b.Node(i) {
+			t.Fatalf("witness %d differs", i)
+		}
+	}
+}
+
+// TestBM25LengthNormalization: with equal term frequency, BM25 prefers
+// the shorter element; plain tf-idf scores them identically.
+func TestBM25LengthNormalization(t *testing.T) {
+	doc, err := xmltree.ParseString(scoringXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := doc.NodesWithTag("short")[0]
+	long := doc.NodesWithTag("long")[0]
+	e := MustParseExpr("gold")
+
+	bm25 := NewIndexOptions(doc, IndexOptions{Scoring: ScoringBM25})
+	rb := bm25.Eval(e)
+	if !(rb.ScoreWithin(short) > rb.ScoreWithin(long)) {
+		t.Errorf("BM25: short %f !> long %f", rb.ScoreWithin(short), rb.ScoreWithin(long))
+	}
+
+	tfidf := NewIndex(doc)
+	rt := tfidf.Eval(e)
+	if rt.ScoreWithin(short) != rt.ScoreWithin(long) {
+		t.Errorf("tf-idf: short %f != long %f", rt.ScoreWithin(short), rt.ScoreWithin(long))
+	}
+}
+
+// TestBM25TermFrequencySaturates: a second occurrence helps, but the
+// scores stay within [0,1] after normalization and tf gains saturate.
+func TestBM25TermFrequencySaturates(t *testing.T) {
+	doc, err := xmltree.ParseString(scoringXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm25 := NewIndexOptions(doc, IndexOptions{Scoring: ScoringBM25})
+	r := bm25.Eval(MustParseExpr("gold"))
+	twice := doc.NodesWithTag("twice")[0]
+	short := doc.NodesWithTag("short")[0]
+	if !(r.ScoreWithin(twice) > r.ScoreWithin(short)*0.9) {
+		t.Errorf("twice %f not comparable to short %f", r.ScoreWithin(twice), r.ScoreWithin(short))
+	}
+	for i := 0; i < r.Len(); i++ {
+		if r.Score(i) < 0 || r.Score(i) > 1 {
+			t.Errorf("score %f out of range", r.Score(i))
+		}
+	}
+}

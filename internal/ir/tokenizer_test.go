@@ -1,0 +1,75 @@
+package ir
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello World", []string{"hello", "world"}},
+		{"the cat and the dog", []string{"cat", "dog"}},
+		{"XML-based streaming!", []string{"xml", "bas", "stream"}},
+		{"", nil},
+		{"   ", nil},
+		{"a an the of", nil},
+		{"state of the art", []string{"state", "art"}},
+		{"item42 x9", []string{"item42", "x9"}},
+		{"don't stop", []string{"don", "t", "stop"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStem(t *testing.T) {
+	cases := map[string]string{
+		"streaming":  "stream",
+		"algorithms": "algorithm",
+		"queries":    "query",
+		"glasses":    "glass",
+		"painted":    "paint",
+		"boxes":      "box",
+		"glass":      "glass", // -ss preserved
+		"xml":        "xml",
+		"its":        "its", // too short for -s
+		"axes":       "axe",
+		"sing":       "sing", // too short for -ing
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTokenizeStemConsistency(t *testing.T) {
+	// A query word must tokenize to the same term as the document word it
+	// should match.
+	doc := Tokenize("streams streaming streamed")
+	for _, term := range doc {
+		if term != "stream" {
+			t.Errorf("inconsistent stemming: %v", doc)
+		}
+	}
+}
+
+// TestStemIdempotent: stemming must be a fixpoint, or canonical
+// expression forms would drift under re-parsing (found by fuzzing).
+func TestStemIdempotent(t *testing.T) {
+	words := []string{
+		"a00sing", "streaming", "processings", "classes", "caresses",
+		"singings", "edited", "seeds", "bases", "axes", "queries",
+	}
+	for _, w := range words {
+		once := Stem(w)
+		if twice := Stem(once); twice != once {
+			t.Errorf("Stem not idempotent: %q -> %q -> %q", w, once, twice)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package rank implements FleXPath's ranking machinery (§4 of the paper):
+// predicate weights, the penalties incurred by dropping predicates during
+// relaxation, per-answer structural and keyword scores, and the three
+// ranking schemes (structure first, keyword first, combined).
+//
+// Scores are computed from the multiset of predicate weights/penalties an
+// answer satisfies, never from the order in which relaxations were
+// applied, so every scheme here is order invariant by the construction of
+// Theorem 3 and satisfies the Relevance Scoring property (structural
+// scores never increase along a relaxation chain, because each additional
+// dropped predicate subtracts a non-negative penalty).
+package rank
+
+import (
+	"fmt"
+
+	"flexpath/internal/ir"
+	"flexpath/internal/stats"
+	"flexpath/internal/tpq"
+)
+
+// Scheme selects how structural and keyword scores combine into a total
+// order (§4.3).
+type Scheme int
+
+const (
+	// StructureFirst orders answers by (ss, ks) lexicographically.
+	StructureFirst Scheme = iota
+	// KeywordFirst orders answers by (ks, ss) lexicographically.
+	KeywordFirst
+	// Combined orders answers by ss + ks.
+	Combined
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case StructureFirst:
+		return "structure-first"
+	case KeywordFirst:
+		return "keyword-first"
+	default:
+		return "combined"
+	}
+}
+
+// ParseScheme parses a scheme name as printed by String.
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "structure-first", "structure", "ss":
+		return StructureFirst, nil
+	case "keyword-first", "keyword", "ks":
+		return KeywordFirst, nil
+	case "combined", "sum":
+		return Combined, nil
+	}
+	return 0, fmt.Errorf("rank: unknown scheme %q", s)
+}
+
+// Score is an answer's pair of structural score (ss) and keyword score
+// (ks).
+type Score struct {
+	SS float64
+	KS float64
+}
+
+// Compare orders two scores under a scheme. It returns >0 when s ranks
+// strictly above o, <0 when below, 0 on ties.
+func (s Score) Compare(o Score, scheme Scheme) int {
+	switch scheme {
+	case StructureFirst:
+		if c := cmpFloat(s.SS, o.SS); c != 0 {
+			return c
+		}
+		return cmpFloat(s.KS, o.KS)
+	case KeywordFirst:
+		if c := cmpFloat(s.KS, o.KS); c != 0 {
+			return c
+		}
+		return cmpFloat(s.SS, o.SS)
+	default:
+		return cmpFloat(s.SS+s.KS, o.SS+o.KS)
+	}
+}
+
+// Total returns the scheme's scalar projection of the score, used for
+// threshold pruning. For the lexicographic schemes this is the primary
+// component; for Combined it is the sum.
+func (s Score) Total(scheme Scheme) float64 {
+	switch scheme {
+	case StructureFirst:
+		return s.SS
+	case KeywordFirst:
+		return s.KS
+	default:
+		return s.SS + s.KS
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a > b:
+		return 1
+	case a < b:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Weights assigns a weight to each predicate of a query's closure
+// (§4.3.1). The paper fixes the contains weight at 1 and lets structural
+// weights be user-specified or uniform; PerPred overrides by canonical
+// predicate key.
+type Weights struct {
+	Structural float64
+	Contains   float64
+	PerPred    map[string]float64
+}
+
+// UniformWeights assigns unit weight to every predicate, the assignment
+// used throughout the paper's examples and experiments.
+func UniformWeights() Weights {
+	return Weights{Structural: 1, Contains: 1}
+}
+
+// Of returns the weight of predicate p.
+func (w Weights) Of(p tpq.Pred) float64 {
+	if v, ok := w.PerPred[p.Key()]; ok {
+		return v
+	}
+	if p.Kind == tpq.PredContains {
+		return w.Contains
+	}
+	return w.Structural
+}
+
+// Penalizer computes the penalty π(p) of dropping each predicate of a
+// query's closure, using document statistics (§4.3.1). A penalty measures
+// the context an answer loses by not satisfying the predicate: the higher
+// the fraction of data already satisfying the stronger form, the closer
+// the penalty is to the predicate's full weight.
+type Penalizer struct {
+	st *stats.Stats
+	ix *ir.Index
+	w  Weights
+	// tagOf and parentOf describe the original query's variables by
+	// stable ID, required by the pc/ad/contains penalty formulas.
+	tagOf    map[int]string
+	parentOf map[int]int
+}
+
+// NewPenalizer builds a Penalizer for the original query q.
+func NewPenalizer(st *stats.Stats, ix *ir.Index, w Weights, q *tpq.Query) *Penalizer {
+	p := &Penalizer{
+		st: st, ix: ix, w: w,
+		tagOf:    make(map[int]string, len(q.Nodes)),
+		parentOf: make(map[int]int, len(q.Nodes)),
+	}
+	for i := range q.Nodes {
+		n := &q.Nodes[i]
+		p.tagOf[n.ID] = n.Tag
+		if n.Parent == -1 {
+			p.parentOf[n.ID] = -1
+		} else {
+			p.parentOf[n.ID] = q.Nodes[n.Parent].ID
+		}
+	}
+	return p
+}
+
+// Penalty returns π(p) for dropping predicate p:
+//
+//	π(pc(i,j))       = #pc(ti,tj) / #ad(ti,tj) · w(p)
+//	π(ad(i,j))       = #ad(ti,tj) / (#(ti) · #(tj)) · w(p)
+//	π(contains(i,e)) = #contains(ti,e) / #contains(tl,e) · w(p),
+//	                   l the query parent of i
+//
+// Ratios with zero denominators degrade to the full weight (dropping a
+// predicate that the data cannot weaken loses the whole context).
+func (p *Penalizer) Penalty(pred tpq.Pred) float64 {
+	w := p.w.Of(pred)
+	switch pred.Kind {
+	case tpq.PredPC:
+		ti, tj := p.tagOf[pred.X], p.tagOf[pred.Y]
+		num, den := p.st.PC(ti, tj), p.st.AD(ti, tj)
+		return ratio(num, den) * w
+	case tpq.PredAD:
+		ti, tj := p.tagOf[pred.X], p.tagOf[pred.Y]
+		num := p.st.AD(ti, tj)
+		den := p.st.Count(ti) * p.st.Count(tj)
+		return ratio(num, den) * w
+	case tpq.PredContains:
+		ti := p.tagOf[pred.X]
+		parent, ok := p.parentOf[pred.X]
+		if !ok || parent == -1 {
+			// The root's contains predicate is never dropped; a defensive
+			// full-weight penalty keeps scores monotone if it ever is.
+			return w
+		}
+		tl := p.tagOf[parent]
+		num := p.ix.CountSatisfyingWithTag(ti, pred.Expr)
+		den := p.ix.CountSatisfyingWithTag(tl, pred.Expr)
+		return ratio(num, den) * w
+	default:
+		return w
+	}
+}
+
+func ratio(num, den int) float64 {
+	if den <= 0 || num > den {
+		return 1
+	}
+	return float64(num) / float64(den)
+}
+
+// BaseScore returns the structural score of an exact answer to the
+// original query: the sum of the weights of the structural predicates
+// present in the query (its tree edges), per §4.3.2.
+func (p *Penalizer) BaseScore(q *tpq.Query) float64 {
+	total := 0.0
+	for _, pr := range tpq.Logical(q).List() {
+		if pr.Kind == tpq.PredPC || pr.Kind == tpq.PredAD {
+			total += p.w.Of(pr)
+		}
+	}
+	return total
+}
+
+// Weights returns the weight assignment in use.
+func (p *Penalizer) Weights() Weights { return p.w }

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"flexpath/internal/xmltree"
+)
+
+// Binary persistence for document statistics. Collecting statistics walks
+// every node's ancestor chain, which dominates snapshot-restore time for
+// large documents; persisting the counts avoids it.
+var statsMagic = [4]byte{'F', 'X', 'S', '1'}
+
+// WriteBinary writes a snapshot of the statistics (excluding the
+// document).
+func (s *Stats) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(statsMagic[:]); err != nil {
+		return err
+	}
+	putUvarint(bw, uint64(len(s.tagCount)))
+	for _, c := range s.tagCount {
+		putUvarint(bw, uint64(c))
+	}
+	for _, m := range []map[tagPair]int{s.pcCount, s.adCount, s.pcParents, s.adAncestors} {
+		writePairMap(bw, m)
+	}
+	return bw.Flush()
+}
+
+// ReadStatsBinary restores statistics for doc from a WriteBinary stream.
+func ReadStatsBinary(doc *xmltree.Document, r io.Reader) (*Stats, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("stats: snapshot: %w", err)
+	}
+	if magic != statsMagic {
+		return nil, errors.New("stats: not a statistics snapshot (bad magic)")
+	}
+	nTags, err := getCount(br)
+	if err != nil {
+		return nil, err
+	}
+	if nTags != doc.NumTags() {
+		return nil, fmt.Errorf("stats: snapshot has %d tags, document has %d", nTags, doc.NumTags())
+	}
+	s := &Stats{doc: doc, tagCount: make([]int, nTags)}
+	for i := range s.tagCount {
+		c, err := getCount(br)
+		if err != nil {
+			return nil, err
+		}
+		s.tagCount[i] = c
+	}
+	maps := []*map[tagPair]int{&s.pcCount, &s.adCount, &s.pcParents, &s.adAncestors}
+	for _, mp := range maps {
+		m, err := readPairMap(br, nTags)
+		if err != nil {
+			return nil, err
+		}
+		*mp = m
+	}
+	return s, nil
+}
+
+func writePairMap(w *bufio.Writer, m map[tagPair]int) {
+	keys := make([]tagPair, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	putUvarint(w, uint64(len(keys)))
+	for _, k := range keys {
+		putUvarint(w, uint64(k.a))
+		putUvarint(w, uint64(k.b))
+		putUvarint(w, uint64(m[k]))
+	}
+}
+
+func readPairMap(r *bufio.Reader, nTags int) (map[tagPair]int, error) {
+	n, err := getCount(r)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[tagPair]int, n)
+	for i := 0; i < n; i++ {
+		a, err := getCount(r)
+		if err != nil {
+			return nil, err
+		}
+		b, err := getCount(r)
+		if err != nil {
+			return nil, err
+		}
+		if a >= nTags || b >= nTags {
+			return nil, fmt.Errorf("stats: snapshot: tag pair (%d,%d) out of range", a, b)
+		}
+		v, err := getCount(r)
+		if err != nil {
+			return nil, err
+		}
+		m[tagPair{xmltree.TagID(a), xmltree.TagID(b)}] = v
+	}
+	return m, nil
+}
+
+const maxCount = 1 << 31
+
+func putUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n]) //nolint:errcheck // surfaced by the final Flush
+}
+
+func getCount(r *bufio.Reader) (int, error) {
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("stats: snapshot: %w", err)
+	}
+	if v > maxCount {
+		return 0, fmt.Errorf("stats: snapshot: implausible count %d", v)
+	}
+	return int(v), nil
+}

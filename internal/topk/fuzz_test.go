@@ -1,0 +1,175 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flexpath/internal/core"
+	"flexpath/internal/exec"
+	"flexpath/internal/ir"
+	"flexpath/internal/rank"
+	"flexpath/internal/tpq"
+)
+
+// randomTPQ builds a random tree pattern over the xmark tag vocabulary:
+// random shape, axes, and contains predicates. The patterns need not be
+// schema-conformant — relaxation semantics must hold regardless.
+func randomTPQ(r *rand.Rand) *tpq.Query {
+	tags := []string{"item", "description", "parlist", "listitem",
+		"mailbox", "mail", "text", "bold", "keyword", "name", "incategory"}
+	words := []string{"gold", "silver", "xml", "vintage", "rare"}
+	n := 2 + r.Intn(4)
+	q := &tpq.Query{}
+	for i := 0; i < n; i++ {
+		node := tpq.Node{ID: i + 1, Tag: tags[r.Intn(len(tags))], Parent: -1}
+		if i == 0 {
+			node.Tag = "item"
+		} else {
+			node.Parent = r.Intn(i)
+			if r.Intn(3) == 0 {
+				node.Axis = tpq.Descendant
+			}
+		}
+		q.Nodes = append(q.Nodes, node)
+	}
+	// One contains predicate on a random node.
+	ci := r.Intn(n)
+	var expr string
+	if r.Intn(2) == 0 {
+		expr = words[r.Intn(len(words))]
+	} else {
+		expr = words[r.Intn(len(words))] + " and " + words[r.Intn(len(words))]
+	}
+	if parsed, err := ir.ParseExpr(expr); err == nil {
+		q.Nodes[ci].Contains = append(q.Nodes[ci].Contains, parsed)
+	}
+	q.Dist = 0
+	q.Normalize()
+	return q
+}
+
+// TestFuzzAlgorithmsConsistent cross-checks the three algorithms and the
+// pruning machinery on random queries over a small xmark document.
+func TestFuzzAlgorithmsConsistent(t *testing.T) {
+	f := xmarkFixture(t, 48<<10, 99)
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := randomTPQ(r)
+		if q.Validate() != nil {
+			return true // skip malformed
+		}
+		chain, err := core.BuildChain(f.doc, f.ix, f.st, rank.UniformWeights(), q)
+		if err != nil {
+			t.Logf("seed %d: chain: %v", seed, err)
+			return false
+		}
+		k := 1 + r.Intn(20)
+		scheme := []rank.Scheme{rank.StructureFirst, rank.KeywordFirst, rank.Combined}[r.Intn(3)]
+		opts := func() Options { return Options{K: k, Scheme: scheme} }
+
+		sso := SSO(chain, f.est, opts())
+		hyb := Hybrid(chain, f.est, opts())
+		if len(sso) != len(hyb) {
+			t.Logf("seed %d q=%s: SSO %d vs Hybrid %d", seed, q, len(sso), len(hyb))
+			return false
+		}
+		for i := range sso {
+			if sso[i].Node != hyb[i].Node || sso[i].Score != hyb[i].Score {
+				t.Logf("seed %d q=%s: rank %d differs", seed, q, i)
+				return false
+			}
+		}
+
+		// Pruned top-K scores match the exhaustive run of the full plan.
+		plan, err := chain.PlanAt(chain.Len())
+		if err != nil {
+			t.Logf("seed %d: plan: %v", seed, err)
+			return false
+		}
+		full := exec.Run(plan, exec.Options{Mode: exec.ModeExhaustive, Scheme: scheme})
+		pruned := exec.Run(plan, exec.Options{K: k, Scheme: scheme, Mode: exec.ModeSorted})
+		limit := k
+		if limit > len(full) {
+			limit = len(full)
+		}
+		if len(pruned) < limit {
+			t.Logf("seed %d q=%s: pruned %d < %d", seed, q, len(pruned), limit)
+			return false
+		}
+		for i := 0; i < limit; i++ {
+			if math.Abs(full[i].Score.SS-pruned[i].Score.SS) > 1e-9 ||
+				math.Abs(full[i].Score.KS-pruned[i].Score.KS) > 1e-9 {
+				t.Logf("seed %d q=%s: pruning changed rank-%d score (%v vs %v)",
+					seed, q, i, pruned[i].Score, full[i].Score)
+				return false
+			}
+		}
+
+		// Every DPO answer's level is the minimal admitting level.
+		dpo := DPO(f.ev, chain, opts())
+		for _, res := range dpo {
+			min := -1
+			for j := 0; j <= chain.Len() && min < 0; j++ {
+				for _, n := range f.ev.Evaluate(chain.QueryAt(j)) {
+					if n == res.Node {
+						min = j
+						break
+					}
+				}
+			}
+			if min != res.Relaxations {
+				t.Logf("seed %d q=%s: node %d DPO level %d, minimal %d",
+					seed, q, res.Node, res.Relaxations, min)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuzzExactAnswersKeepBaseScore: on random queries, every exact
+// answer returned by any algorithm carries the full base score.
+func TestFuzzExactAnswersKeepBaseScore(t *testing.T) {
+	f := xmarkFixture(t, 48<<10, 5)
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := randomTPQ(r)
+		if q.Validate() != nil {
+			return true
+		}
+		chain, err := core.BuildChain(f.doc, f.ix, f.st, rank.UniformWeights(), q)
+		if err != nil {
+			return false
+		}
+		exact := map[int64]bool{}
+		for _, n := range f.ev.Evaluate(q) {
+			exact[int64(n)] = true
+		}
+		// Exact answers carry the full base score; all answers stay at or
+		// below it. (The converse — non-exact strictly below base — does
+		// not hold in general: relaxing a predicate the data never
+		// satisfies in its strong form costs a zero penalty under the
+		// paper's formulas, e.g. π(pc) = #pc/#ad = 0 when no
+		// parent-child pair of those tags exists.)
+		for _, res := range Hybrid(chain, f.est, Options{K: 50, Scheme: rank.StructureFirst}) {
+			if exact[int64(res.Node)] && math.Abs(res.Score.SS-chain.Base) > 1e-9 {
+				t.Logf("seed %d q=%s: exact answer %d scored %f, base %f",
+					seed, q, res.Node, res.Score.SS, chain.Base)
+				return false
+			}
+			if res.Score.SS > chain.Base+1e-9 {
+				t.Logf("seed %d q=%s: answer %d above base score", seed, q, res.Node)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,359 @@
+package topk
+
+import (
+	"math"
+	"testing"
+
+	"flexpath/internal/core"
+	"flexpath/internal/exec"
+	"flexpath/internal/ir"
+	"flexpath/internal/rank"
+	"flexpath/internal/stats"
+	"flexpath/internal/tpq"
+	"flexpath/internal/xmark"
+	"flexpath/internal/xmltree"
+)
+
+const articlesXML = `
+<collection>
+  <article><title>streaming xml</title>
+    <section><algorithm>merge</algorithm><paragraph>xml streaming passes</paragraph></section>
+  </article>
+  <article><title>layouts</title>
+    <section><title>xml streaming storage</title><algorithm>split</algorithm><paragraph>pages</paragraph></section>
+  </article>
+  <article><title>joins</title>
+    <section><paragraph>xml streaming joins</paragraph></section>
+    <appendix><algorithm>twig</algorithm></appendix>
+  </article>
+  <article><title>other</title>
+    <section><paragraph>nothing relevant</paragraph></section>
+  </article>
+</collection>`
+
+const srcQ1 = `//article[./section[./algorithm and ./paragraph[.contains("XML" and "streaming")]]]`
+
+type fixture struct {
+	doc *xmltree.Document
+	ix  *ir.Index
+	st  *stats.Stats
+	ev  *exec.Evaluator
+	est *stats.Estimator
+}
+
+func newFixture(t testing.TB, xml string) *fixture {
+	t.Helper()
+	doc, err := xmltree.ParseString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fixtureFor(doc)
+}
+
+func fixtureFor(doc *xmltree.Document) *fixture {
+	ix := ir.NewIndex(doc)
+	st := stats.Collect(doc)
+	return &fixture{doc: doc, ix: ix, st: st,
+		ev: exec.NewEvaluator(doc, ix), est: stats.NewEstimator(st, ix)}
+}
+
+func xmarkFixture(t testing.TB, bytes, seed int64) *fixture {
+	t.Helper()
+	doc, err := xmark.Build(xmark.Config{TargetBytes: bytes, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fixtureFor(doc)
+}
+
+func (f *fixture) chain(t testing.TB, src string) *core.Chain {
+	t.Helper()
+	c, err := core.BuildChain(f.doc, f.ix, f.st, rank.UniformWeights(), tpq.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func schemes() []rank.Scheme {
+	return []rank.Scheme{rank.StructureFirst, rank.KeywordFirst, rank.Combined}
+}
+
+// TestSSOHybridAgree: SSO and Hybrid must return identical results (same
+// nodes, same scores, same order) — they run the same plan and pruning
+// and differ only in intermediate-result organization.
+func TestSSOHybridAgree(t *testing.T) {
+	fixtures := map[string]*fixture{
+		"articles": newFixture(t, articlesXML),
+		"xmark":    xmarkFixture(t, 96<<10, 5),
+	}
+	queries := map[string][]string{
+		"articles": {srcQ1, `//article[./section/paragraph[.contains("xml")]]`},
+		"xmark": {
+			`//item[./description/parlist]`,
+			`//item[./description/parlist and ./mailbox/mail/text]`,
+		},
+	}
+	for name, f := range fixtures {
+		for _, src := range queries[name] {
+			c := f.chain(t, src)
+			for _, scheme := range schemes() {
+				for _, k := range []int{1, 5, 25} {
+					a := SSO(c, f.est, Options{K: k, Scheme: scheme})
+					b := Hybrid(c, f.est, Options{K: k, Scheme: scheme})
+					if len(a) != len(b) {
+						t.Fatalf("%s %s k=%d %v: SSO %d results, Hybrid %d",
+							name, src, k, scheme, len(a), len(b))
+					}
+					for i := range a {
+						if a[i].Node != b[i].Node || a[i].Score != b[i].Score {
+							t.Errorf("%s %s k=%d %v: result %d differs: %+v vs %+v",
+								name, src, k, scheme, i, a[i], b[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPruningCorrect: threshold pruning must not change the top-K compared
+// to an exhaustive run of the maximally relaxed plan.
+func TestPruningCorrect(t *testing.T) {
+	f := xmarkFixture(t, 64<<10, 9)
+	for _, src := range []string{
+		`//item[./description/parlist]`,
+		`//item[./description/parlist and ./mailbox/mail/text]`,
+	} {
+		c := f.chain(t, src)
+		plan, err := c.PlanAt(c.Len())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, scheme := range schemes() {
+			full := exec.Run(plan, exec.Options{Mode: exec.ModeExhaustive, Scheme: scheme})
+			for _, k := range []int{1, 3, 10, 50} {
+				pruned := exec.Run(plan, exec.Options{K: k, Scheme: scheme, Mode: exec.ModeSorted})
+				limit := k
+				if limit > len(full) {
+					limit = len(full)
+				}
+				if len(pruned) < limit {
+					t.Fatalf("%s %v k=%d: pruned run returned %d answers, want >= %d",
+						src, scheme, k, len(pruned), limit)
+				}
+				for i := 0; i < limit; i++ {
+					// Scores must agree position by position (nodes may
+					// swap on exact score ties).
+					if math.Abs(full[i].Score.SS-pruned[i].Score.SS) > 1e-9 ||
+						math.Abs(full[i].Score.KS-pruned[i].Score.KS) > 1e-9 {
+						t.Errorf("%s %v k=%d: rank %d score %+v (pruned) vs %+v (full)",
+							src, scheme, k, i, pruned[i].Score, full[i].Score)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDPOLevels: every DPO result's relaxation level is the minimal chain
+// level admitting that node.
+func TestDPOLevels(t *testing.T) {
+	f := newFixture(t, articlesXML)
+	c := f.chain(t, srcQ1)
+	// Only three articles contain both keywords anywhere, so the whole
+	// relaxation space yields exactly three answers.
+	results := DPO(f.ev, c, Options{K: 3, Scheme: rank.StructureFirst})
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		min := -1
+		for j := 0; j <= c.Len(); j++ {
+			for _, n := range f.ev.Evaluate(c.QueryAt(j)) {
+				if n == r.Node {
+					min = j
+					break
+				}
+			}
+			if min >= 0 {
+				break
+			}
+		}
+		if min != r.Relaxations {
+			t.Errorf("node %d: reported level %d, minimal admitting level %d", r.Node, r.Relaxations, min)
+		}
+		if r.Score.SS != c.SSAt(r.Relaxations) {
+			t.Errorf("node %d: ss %f != uniform level score %f", r.Node, r.Score.SS, c.SSAt(r.Relaxations))
+		}
+	}
+	// Structure-first: results ordered by non-increasing ss.
+	for i := 1; i < len(results); i++ {
+		if results[i].Score.SS > results[i-1].Score.SS+1e-9 {
+			t.Errorf("results not ordered by ss: %f after %f", results[i].Score.SS, results[i-1].Score.SS)
+		}
+	}
+}
+
+// TestExactAnswersFirst: with K equal to the number of exact matches, all
+// algorithms return exactly the exact matches under structure-first.
+func TestExactAnswersFirst(t *testing.T) {
+	f := newFixture(t, articlesXML)
+	c := f.chain(t, srcQ1)
+	exact := f.ev.Evaluate(c.Original)
+	if len(exact) != 1 {
+		t.Fatalf("setup: %d exact answers, want 1", len(exact))
+	}
+	run := func(name string, results []Result) {
+		if len(results) != 1 {
+			t.Fatalf("%s: %d results", name, len(results))
+		}
+		if results[0].Node != exact[0] {
+			t.Errorf("%s: top answer %d, want %d", name, results[0].Node, exact[0])
+		}
+		if results[0].Score.SS != c.Base {
+			t.Errorf("%s: ss %f, want base %f", name, results[0].Score.SS, c.Base)
+		}
+	}
+	opt := Options{K: 1, Scheme: rank.StructureFirst}
+	run("DPO", DPO(f.ev, c, opt))
+	run("SSO", SSO(c, f.est, opt))
+	run("Hybrid", Hybrid(c, f.est, opt))
+}
+
+// TestLargeKAllAgree: with K larger than the loosest level's answer
+// count, all three algorithms return the same set of nodes.
+func TestLargeKAllAgree(t *testing.T) {
+	f := newFixture(t, articlesXML)
+	c := f.chain(t, srcQ1)
+	opt := Options{K: 100, Scheme: rank.StructureFirst}
+	sets := map[string]map[xmltree.NodeID]bool{}
+	for name, results := range map[string][]Result{
+		"DPO":    DPO(f.ev, c, opt),
+		"SSO":    SSO(c, f.est, Options{K: 100, Scheme: rank.StructureFirst}),
+		"Hybrid": Hybrid(c, f.est, Options{K: 100, Scheme: rank.StructureFirst}),
+	} {
+		s := map[xmltree.NodeID]bool{}
+		for _, r := range results {
+			s[r.Node] = true
+		}
+		sets[name] = s
+	}
+	loosest := f.ev.Evaluate(c.QueryAt(c.Len()))
+	if len(loosest) == 0 {
+		t.Fatal("loosest level empty")
+	}
+	for name, s := range sets {
+		if len(s) != len(loosest) {
+			t.Errorf("%s returned %d nodes, loosest level has %d", name, len(s), len(loosest))
+		}
+		for _, n := range loosest {
+			if !s[n] {
+				t.Errorf("%s missing answer %d", name, n)
+			}
+		}
+	}
+}
+
+// TestKeywordFirstEncodesEverything: under keyword-first, SSO must encode
+// the full chain (§5.1: an answer with the worst structural score might
+// make the top-K).
+func TestKeywordFirstEncodesEverything(t *testing.T) {
+	f := newFixture(t, articlesXML)
+	c := f.chain(t, srcQ1)
+	var m Metrics
+	SSO(c, f.est, Options{K: 1, Scheme: rank.KeywordFirst, Metrics: &m})
+	if m.RelaxationsEncoded != c.Len() {
+		t.Errorf("keyword-first encoded %d relaxations, want full chain %d", m.RelaxationsEncoded, c.Len())
+	}
+}
+
+// TestMetricsSeparateAlgorithms: DPO evaluates multiple queries while
+// SSO/Hybrid run one plan; SSO sorts tuples while Hybrid buckets them.
+func TestMetricsSeparateAlgorithms(t *testing.T) {
+	f := xmarkFixture(t, 96<<10, 5)
+	c := f.chain(t, `//item[./description/parlist and ./mailbox/mail/text]`)
+	k := 60
+
+	var md, ms, mh Metrics
+	DPO(f.ev, c, Options{K: k, Scheme: rank.StructureFirst, Metrics: &md})
+	SSO(c, f.est, Options{K: k, Scheme: rank.StructureFirst, Metrics: &ms})
+	Hybrid(c, f.est, Options{K: k, Scheme: rank.StructureFirst, Metrics: &mh})
+
+	if md.QueriesEvaluated < 2 {
+		t.Errorf("DPO evaluated %d queries, expected several (relaxations needed)", md.QueriesEvaluated)
+	}
+	if ms.PlansRun < 1 || mh.PlansRun < 1 {
+		t.Error("SSO/Hybrid did not run a plan")
+	}
+	if ms.Pipeline.SortOps == 0 {
+		t.Error("SSO never sorted intermediate results")
+	}
+	if mh.Pipeline.SortOps != 0 {
+		t.Error("Hybrid sorted intermediate results")
+	}
+	if mh.Pipeline.Buckets == 0 {
+		t.Error("Hybrid created no buckets")
+	}
+}
+
+// TestSSORestart: feed SSO an estimator that overestimates wildly so its
+// first prefix is too short, and verify it restarts and still returns K
+// answers.
+func TestSSORestart(t *testing.T) {
+	f := newFixture(t, articlesXML)
+	c := f.chain(t, srcQ1)
+	var m Metrics
+	// K=3 requires relaxations; the real estimator may or may not be
+	// accurate on this tiny document, so force the situation by asking
+	// for more answers than the exact query has.
+	results := SSO(c, f.est, Options{K: 3, Scheme: rank.StructureFirst, Metrics: &m})
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	t.Logf("restarts=%d encoded=%d", m.Restarts, m.RelaxationsEncoded)
+}
+
+func TestResultOrderingSchemes(t *testing.T) {
+	f := newFixture(t, articlesXML)
+	c := f.chain(t, srcQ1)
+	for _, scheme := range schemes() {
+		for name, results := range map[string][]Result{
+			"DPO":    DPO(f.ev, c, Options{K: 4, Scheme: scheme}),
+			"SSO":    SSO(c, f.est, Options{K: 4, Scheme: scheme}),
+			"Hybrid": Hybrid(c, f.est, Options{K: 4, Scheme: scheme}),
+		} {
+			for i := 1; i < len(results); i++ {
+				if results[i].Score.Compare(results[i-1].Score, scheme) > 0 {
+					t.Errorf("%s %v: results out of order at %d", name, scheme, i)
+				}
+			}
+		}
+	}
+}
+
+// TestDPOVariantsAgree: plan-based DPO (with intra-plan exclusion of
+// previous answers) and semijoin DPO must return identical results —
+// same nodes, same levels, same structural scores.
+func TestDPOVariantsAgree(t *testing.T) {
+	f := xmarkFixture(t, 96<<10, 5)
+	for _, src := range []string{
+		`//item[./description/parlist]`,
+		`//item[./description/parlist and ./mailbox/mail/text]`,
+	} {
+		c := f.chain(t, src)
+		for _, k := range []int{5, 40} {
+			a := DPO(f.ev, c, Options{K: k, Scheme: rank.StructureFirst})
+			b := DPOSemijoin(f.ev, c, Options{K: k, Scheme: rank.StructureFirst})
+			if len(a) != len(b) {
+				t.Fatalf("%s k=%d: %d vs %d results", src, k, len(a), len(b))
+			}
+			for i := range a {
+				if a[i].Node != b[i].Node || a[i].Relaxations != b[i].Relaxations ||
+					a[i].Score.SS != b[i].Score.SS {
+					t.Errorf("%s k=%d rank %d: %+v vs %+v", src, k, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}

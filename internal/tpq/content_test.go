@@ -1,0 +1,56 @@
+package tpq
+
+import "testing"
+
+func TestParseContentPredicates(t *testing.T) {
+	// Trailing comparison on a path step.
+	q := MustParse(`//item[./quantity < 3]`)
+	qi := qIndex(q, "quantity")
+	if qi < 0 {
+		t.Fatal("quantity step missing")
+	}
+	vp := q.Nodes[qi].Values
+	if len(vp) != 1 || vp[0].Attr != "" || vp[0].Op != OpLt || vp[0].Value != "3" {
+		t.Fatalf("content pred = %+v", vp)
+	}
+
+	// Bare-dot comparison applies to the context node.
+	q = MustParse(`//item[. = "gold"]`)
+	vp = q.Nodes[0].Values
+	if len(vp) != 1 || vp[0].Attr != "" || vp[0].Op != OpEq || vp[0].Value != "gold" {
+		t.Fatalf("bare-dot pred = %+v", vp)
+	}
+
+	// Deep path with comparison.
+	q = MustParse(`//item[./description/price >= 10.5 and ./name]`)
+	pi := qIndex(q, "price")
+	if pi < 0 || len(q.Nodes[pi].Values) != 1 || q.Nodes[pi].Values[0].Value != "10.5" {
+		t.Fatalf("deep content pred wrong: %+v", q.Nodes[pi])
+	}
+	if qIndex(q, "name") < 0 {
+		t.Error("sibling branch lost")
+	}
+}
+
+func TestParseContentPredicateErrors(t *testing.T) {
+	for _, src := range []string{
+		`//item[.]`,     // bare dot without comparison or path
+		`//item[./a <]`, // missing literal
+		`//item[. >]`,   // missing literal after bare dot
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestContentPredCanonAndString(t *testing.T) {
+	a := MustParse(`//item[./q < 3]`)
+	b := MustParse(`//item[./q < 4]`)
+	if a.Canon() == b.Canon() {
+		t.Error("different content predicates share canon")
+	}
+	if a.String() == "" {
+		t.Error("empty String")
+	}
+}

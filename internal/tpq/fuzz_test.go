@@ -1,0 +1,40 @@
+package tpq
+
+import "testing"
+
+// FuzzParse: the query parser must never panic; accepted queries must
+// validate, have a computable closure and a stable canonical form.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`//a`, `//a/b/c`, `//a[./b and .//c]`,
+		`//a[.contains("x" and "y")]`, `//a[@p < 10]`, `//a[./b < 3]`,
+		`//a[./b^2.5]`, `//a[`, `//`, `a]b[`, `//a[./b[./c[./d]]]`,
+		`//a[. = "x"]`, `//a[contains(., x)]`, `//ä[./ü]`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("accepted invalid query %q: %v", src, err)
+		}
+		if q.Canon() != q.Clone().Canon() {
+			t.Fatalf("canon not stable for %q", src)
+		}
+		cl := ClosureOf(q)
+		if cl.Len() < Logical(q).Len() {
+			t.Fatalf("closure smaller than logical form for %q", src)
+		}
+		// Minimization must succeed on everything the parser accepts.
+		m, err := Minimize(q)
+		if err != nil {
+			t.Fatalf("minimize failed for %q: %v", src, err)
+		}
+		if !Equivalent(q, m) {
+			t.Fatalf("minimize changed semantics of %q", src)
+		}
+	})
+}

@@ -1,0 +1,381 @@
+package tpq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flexpath/internal/ir"
+)
+
+// PredKind identifies the kind of a logical predicate.
+type PredKind int8
+
+// Predicate kinds. PC and AD are the structural predicates; Tag, Contains
+// and Value are value-based.
+const (
+	PredPC PredKind = iota
+	PredAD
+	PredTag
+	PredContains
+	PredValue
+)
+
+// Pred is one predicate of a query's logical form (§2.1, Figure 2). X and
+// Y refer to variables by their stable IDs, so predicates remain
+// meaningful across relaxations of the same original query.
+type Pred struct {
+	Kind PredKind
+	X    int // subject variable
+	Y    int // object variable, for PC/AD
+	Tag  string
+	Expr ir.Expr
+	VP   ValuePred
+}
+
+// Key returns a canonical identity string for the predicate.
+func (p Pred) Key() string {
+	switch p.Kind {
+	case PredPC:
+		return fmt.Sprintf("pc($%d,$%d)", p.X, p.Y)
+	case PredAD:
+		return fmt.Sprintf("ad($%d,$%d)", p.X, p.Y)
+	case PredTag:
+		return fmt.Sprintf("tag($%d)=%s", p.X, p.Tag)
+	case PredContains:
+		return fmt.Sprintf("contains($%d,%s)", p.X, p.Expr.Canon())
+	default:
+		return fmt.Sprintf("value($%d,%s)", p.X, p.VP.String())
+	}
+}
+
+// String implements fmt.Stringer.
+func (p Pred) String() string { return p.Key() }
+
+// PredSet is a set of predicates keyed by canonical identity.
+type PredSet struct {
+	m map[string]Pred
+}
+
+// NewPredSet returns an empty predicate set.
+func NewPredSet() *PredSet { return &PredSet{m: make(map[string]Pred)} }
+
+// Add inserts p; it reports whether p was new.
+func (s *PredSet) Add(p Pred) bool {
+	k := p.Key()
+	if _, ok := s.m[k]; ok {
+		return false
+	}
+	s.m[k] = p
+	return true
+}
+
+// Has reports whether p is in the set.
+func (s *PredSet) Has(p Pred) bool {
+	_, ok := s.m[p.Key()]
+	return ok
+}
+
+// HasKey reports whether a predicate with the given key is in the set.
+func (s *PredSet) HasKey(key string) bool {
+	_, ok := s.m[key]
+	return ok
+}
+
+// Remove deletes p from the set.
+func (s *PredSet) Remove(p Pred) { delete(s.m, p.Key()) }
+
+// Len returns the number of predicates.
+func (s *PredSet) Len() int { return len(s.m) }
+
+// Clone returns a copy of the set.
+func (s *PredSet) Clone() *PredSet {
+	out := NewPredSet()
+	for k, v := range s.m {
+		out.m[k] = v
+	}
+	return out
+}
+
+// List returns the predicates sorted by canonical key, for deterministic
+// iteration.
+func (s *PredSet) List() []Pred {
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Pred, len(keys))
+	for i, k := range keys {
+		out[i] = s.m[k]
+	}
+	return out
+}
+
+// Equal reports whether two sets contain the same predicates.
+func (s *PredSet) Equal(o *PredSet) bool {
+	if len(s.m) != len(o.m) {
+		return false
+	}
+	for k := range s.m {
+		if _, ok := o.m[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Minus returns s with the given predicates removed (the C - S of
+// Definition 1).
+func (s *PredSet) Minus(drop ...Pred) *PredSet {
+	out := s.Clone()
+	for _, p := range drop {
+		out.Remove(p)
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (s *PredSet) String() string {
+	preds := s.List()
+	parts := make([]string, len(preds))
+	for i, p := range preds {
+		parts[i] = p.Key()
+	}
+	return strings.Join(parts, " ^ ")
+}
+
+// Logical returns the logical form of a query: its structural predicates
+// (one pc or ad predicate per tree edge) conjoined with its tag, value and
+// contains predicates (Figure 2 of the paper).
+func Logical(q *Query) *PredSet {
+	s := NewPredSet()
+	for i := range q.Nodes {
+		n := &q.Nodes[i]
+		s.Add(Pred{Kind: PredTag, X: n.ID, Tag: n.Tag})
+		for _, e := range n.Contains {
+			s.Add(Pred{Kind: PredContains, X: n.ID, Expr: e})
+		}
+		for _, v := range n.Values {
+			s.Add(Pred{Kind: PredValue, X: n.ID, VP: v})
+		}
+		if n.Parent != -1 {
+			kind := PredPC
+			if n.Axis == Descendant {
+				kind = PredAD
+			}
+			s.Add(Pred{Kind: kind, X: q.Nodes[n.Parent].ID, Y: n.ID})
+		}
+	}
+	return s
+}
+
+// Closure saturates a predicate set under the paper's inference rules
+// (Figure 3):
+//
+//	pc(x,y)                       |- ad(x,y)
+//	ad(x,y), ad(y,z)              |- ad(x,z)
+//	ad(x,y), contains(y, FTExp)   |- contains(x, FTExp)
+//
+// The input set is not modified.
+func Closure(s *PredSet) *PredSet {
+	out := s.Clone()
+	for {
+		changed := false
+		preds := out.List()
+		// Rule 1: pc |- ad.
+		for _, p := range preds {
+			if p.Kind == PredPC {
+				if out.Add(Pred{Kind: PredAD, X: p.X, Y: p.Y}) {
+					changed = true
+				}
+			}
+		}
+		preds = out.List()
+		// Rule 2: ad transitivity.
+		for _, p := range preds {
+			if p.Kind != PredAD {
+				continue
+			}
+			for _, r := range preds {
+				if r.Kind == PredAD && r.X == p.Y {
+					if out.Add(Pred{Kind: PredAD, X: p.X, Y: r.Y}) {
+						changed = true
+					}
+				}
+			}
+		}
+		preds = out.List()
+		// Rule 3: contains propagates to ancestors.
+		for _, p := range preds {
+			if p.Kind != PredAD {
+				continue
+			}
+			for _, r := range preds {
+				if r.Kind == PredContains && r.X == p.Y {
+					if out.Add(Pred{Kind: PredContains, X: p.X, Expr: r.Expr}) {
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			return out
+		}
+	}
+}
+
+// ClosureOf returns the closure of a query's logical form.
+func ClosureOf(q *Query) *PredSet { return Closure(Logical(q)) }
+
+// Derivable reports whether p can be derived from s \ {p} using the
+// inference rules; such a predicate is redundant (§3.2).
+func Derivable(s *PredSet, p Pred) bool {
+	rest := s.Minus(p)
+	return Closure(rest).Has(p)
+}
+
+// Core returns the unique minimal predicate set equivalent to s (§3.2,
+// Theorem 1): the closure of s with every redundant predicate removed.
+// Removal proceeds in canonical key order; Theorem 1 guarantees the result
+// is order-independent (the property tests verify this empirically).
+func Core(s *PredSet) *PredSet {
+	cur := Closure(s)
+	for {
+		removed := false
+		for _, p := range cur.List() {
+			if p.Kind != PredPC && p.Kind != PredAD && p.Kind != PredContains {
+				continue // tag and value predicates are never derivable
+			}
+			if Derivable(cur, p) {
+				cur.Remove(p)
+				removed = true
+			}
+		}
+		if !removed {
+			return cur
+		}
+	}
+}
+
+// CoreOf returns the core of a query's closure.
+func CoreOf(q *Query) *PredSet { return Core(ClosureOf(q)) }
+
+// TreeFromPreds reconstructs a tree pattern query from a minimal predicate
+// set (typically a Core result). distID is the stable ID of the
+// distinguished variable. It fails when the predicates do not form a tree
+// pattern: a variable without a tag, a variable with several incoming
+// structural edges, multiple roots, or a missing distinguished variable
+// (these are exactly the conditions under which dropping predicates does
+// not yield a valid structural relaxation, §3.3).
+func TreeFromPreds(s *PredSet, distID int) (*Query, error) {
+	type varInfo struct {
+		tag      string
+		contains []ir.Expr
+		values   []ValuePred
+		parent   int // variable ID, -1 unknown
+		axis     Axis
+		incoming int
+	}
+	vars := map[int]*varInfo{}
+	get := func(id int) *varInfo {
+		if v, ok := vars[id]; ok {
+			return v
+		}
+		v := &varInfo{parent: -1}
+		vars[id] = v
+		return v
+	}
+	for _, p := range s.List() {
+		switch p.Kind {
+		case PredTag:
+			get(p.X).tag = p.Tag
+		case PredContains:
+			v := get(p.X)
+			v.contains = append(v.contains, p.Expr)
+		case PredValue:
+			v := get(p.X)
+			v.values = append(v.values, p.VP)
+		case PredPC, PredAD:
+			get(p.X)
+			v := get(p.Y)
+			v.incoming++
+			v.parent = p.X
+			if p.Kind == PredPC {
+				v.axis = Child
+			} else {
+				v.axis = Descendant
+			}
+		}
+	}
+	// pc(x,y) and ad(x,y) together count as one edge: pc dominates.
+	for id, v := range vars {
+		if v.incoming == 2 &&
+			s.HasKey(Pred{Kind: PredPC, X: v.parent, Y: id}.Key()) &&
+			s.HasKey(Pred{Kind: PredAD, X: v.parent, Y: id}.Key()) {
+			v.incoming = 1
+			v.axis = Child
+		}
+	}
+	roots := 0
+	for id, v := range vars {
+		if v.tag == "" {
+			return nil, fmt.Errorf("tpq: variable $%d has no tag predicate", id)
+		}
+		switch v.incoming {
+		case 0:
+			roots++
+		case 1:
+		default:
+			return nil, fmt.Errorf("tpq: variable $%d has %d incoming structural edges", id, v.incoming)
+		}
+	}
+	if roots != 1 {
+		return nil, fmt.Errorf("tpq: predicate set has %d roots, want 1", roots)
+	}
+	if _, ok := vars[distID]; !ok {
+		return nil, fmt.Errorf("tpq: distinguished variable $%d not present", distID)
+	}
+	// Assemble in ID order; normalize fixes pre-order. Detect cycles while
+	// resolving parents.
+	ids := make([]int, 0, len(vars))
+	for id := range vars {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	idxOf := make(map[int]int, len(ids))
+	q := &Query{}
+	for _, id := range ids {
+		idxOf[id] = len(q.Nodes)
+		q.Nodes = append(q.Nodes, Node{ID: id})
+	}
+	for _, id := range ids {
+		v := vars[id]
+		n := &q.Nodes[idxOf[id]]
+		n.Tag = v.tag
+		n.Contains = v.contains
+		n.Values = v.values
+		n.Axis = v.axis
+		if v.parent == -1 {
+			n.Parent = -1
+		} else {
+			n.Parent = idxOf[v.parent]
+		}
+	}
+	// Cycle check: walk up from each node.
+	for i := range q.Nodes {
+		seen := map[int]bool{}
+		for j := i; j != -1; j = q.Nodes[j].Parent {
+			if seen[j] {
+				return nil, fmt.Errorf("tpq: predicate set contains a cycle")
+			}
+			seen[j] = true
+		}
+	}
+	q.Dist = idxOf[distID]
+	q.normalize()
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}

@@ -1,0 +1,328 @@
+package tpq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"flexpath/internal/ir"
+)
+
+// Parse parses a tree pattern query from a mini-XPath syntax:
+//
+//	query   := ("/" | "//") step ( ("/" | "//") step )*
+//	step    := NAME [ "[" pred ( "and" pred )* "]" ]
+//	pred    := ".contains(" FTEXPR ")"
+//	         | "contains(.," FTEXPR ")"
+//	         | "@" NAME op literal
+//	         | "." ( ("/"|"//") step )+        -- a relative branch
+//	op      := "=" | "!=" | "<" | "<=" | ">" | ">="
+//	literal := quoted string or bare number/word
+//
+// The distinguished node (whose matches are the query answers) is the last
+// step of the top-level path, matching the convention of the paper's
+// Figure 1 queries, e.g.
+//
+//	//article[.//algorithm and ./section[./paragraph and
+//	          .contains("XML" and "streaming")]]
+//
+// Variables are numbered $1, $2, ... in the order their steps appear.
+func Parse(src string) (*Query, error) {
+	p := &parser{src: src}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, fmt.Errorf("tpq: parse %q: %w", src, err)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse but panics on error; for tests and examples.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	src    string
+	pos    int
+	nextID int
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf(format+" (at offset %d)", append(args, p.pos)...)
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) eat(s string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseAxis() (Axis, bool) {
+	p.skipSpace()
+	if p.eat("//") {
+		return Descendant, true
+	}
+	if p.eat("/") {
+		return Child, true
+	}
+	return Child, false
+}
+
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == '-' || c == ':'
+}
+
+func (p *parser) parseName() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && isNameByte(p.src[p.pos]) {
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	axis, ok := p.parseAxis()
+	if !ok {
+		return nil, p.errf("query must start with / or //")
+	}
+	last, err := p.parseStep(q, -1, axis)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		axis, ok := p.parseAxis()
+		if !ok {
+			break
+		}
+		last, err = p.parseStep(q, last, axis)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, p.errf("trailing input %q", p.src[p.pos:])
+	}
+	q.Dist = last
+	q.normalize()
+	return q, nil
+}
+
+// parseStep parses one step (tag plus optional predicate list) and returns
+// the index of the created node.
+func (p *parser) parseStep(q *Query, parent int, axis Axis) (int, error) {
+	name := p.parseName()
+	if name == "" {
+		return 0, p.errf("expected element name")
+	}
+	p.nextID++
+	idx := len(q.Nodes)
+	node := Node{ID: p.nextID, Tag: name, Parent: parent, Axis: axis}
+	// Optional user weight on the step's edge: tag^2.5 (§4.1).
+	if p.pos < len(p.src) && p.src[p.pos] == '^' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && (p.src[p.pos] >= '0' && p.src[p.pos] <= '9' || p.src[p.pos] == '.') {
+			p.pos++
+		}
+		w, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+		if err != nil || w <= 0 {
+			return 0, p.errf("invalid step weight %q", p.src[start:p.pos])
+		}
+		node.Weight = w
+	}
+	q.Nodes = append(q.Nodes, node)
+	if p.eat("[") {
+		for {
+			if err := p.parsePred(q, idx); err != nil {
+				return 0, err
+			}
+			if p.eat("and") {
+				continue
+			}
+			break
+		}
+		if !p.eat("]") {
+			return 0, p.errf("expected ] or 'and'")
+		}
+	}
+	return idx, nil
+}
+
+func (p *parser) parsePred(q *Query, ctx int) error {
+	p.skipSpace()
+	switch {
+	case strings.HasPrefix(p.src[p.pos:], ".contains("):
+		p.pos += len(".contains(")
+		return p.parseContainsTail(q, ctx)
+	case strings.HasPrefix(p.src[p.pos:], "contains("):
+		p.pos += len("contains(")
+		p.skipSpace()
+		if !p.eat(".") {
+			return p.errf("contains() predicate must apply to '.'")
+		}
+		if !p.eat(",") {
+			return p.errf("expected , in contains(., expr)")
+		}
+		return p.parseContainsTail(q, ctx)
+	case p.peek() == '@':
+		p.pos++
+		return p.parseValuePred(q, ctx)
+	case p.peek() == '.':
+		p.pos++
+		last := ctx
+		for {
+			axis, ok := p.parseAxis()
+			if !ok {
+				break
+			}
+			var err error
+			last, err = p.parseStep(q, last, axis)
+			if err != nil {
+				return err
+			}
+		}
+		// An optional trailing comparison makes this a content predicate
+		// on the path's last step (or on the context node for a bare
+		// "."): ./quantity < 3, . = "gold".
+		if op, ok := p.tryCmpOp(); ok {
+			val, err := p.parseLiteral()
+			if err != nil {
+				return err
+			}
+			q.Nodes[last].Values = append(q.Nodes[last].Values, ValuePred{Op: op, Value: val})
+			return nil
+		}
+		if last == ctx {
+			return p.errf("expected / or // after '.'")
+		}
+		return nil
+	default:
+		return p.errf("expected predicate")
+	}
+}
+
+// parseContainsTail consumes a full-text expression up to the matching
+// close paren and attaches the contains predicate to node ctx.
+func (p *parser) parseContainsTail(q *Query, ctx int) error {
+	depth := 1
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch c {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				raw := p.src[start:p.pos]
+				p.pos++
+				e, err := ir.ParseExpr(raw)
+				if err != nil {
+					return err
+				}
+				q.Nodes[ctx].Contains = append(q.Nodes[ctx].Contains, e)
+				return nil
+			}
+		case '"', '\'':
+			quote := c
+			p.pos++
+			for p.pos < len(p.src) && p.src[p.pos] != quote {
+				p.pos++
+			}
+		}
+		p.pos++
+	}
+	return p.errf("unterminated contains(")
+}
+
+func (p *parser) parseValuePred(q *Query, ctx int) error {
+	attr := p.parseName()
+	if attr == "" {
+		return p.errf("expected attribute name after @")
+	}
+	op, ok := p.tryCmpOp()
+	if !ok {
+		return p.errf("expected comparison operator")
+	}
+	val, err := p.parseLiteral()
+	if err != nil {
+		return err
+	}
+	q.Nodes[ctx].Values = append(q.Nodes[ctx].Values, ValuePred{Attr: attr, Op: op, Value: val})
+	return nil
+}
+
+// tryCmpOp consumes a comparison operator if one is next.
+func (p *parser) tryCmpOp() (CmpOp, bool) {
+	p.skipSpace()
+	switch {
+	case p.eat("!="):
+		return OpNe, true
+	case p.eat("<="):
+		return OpLe, true
+	case p.eat(">="):
+		return OpGe, true
+	case p.eat("="):
+		return OpEq, true
+	case p.eat("<"):
+		return OpLt, true
+	case p.eat(">"):
+		return OpGt, true
+	}
+	return 0, false
+}
+
+// parseLiteral parses a quoted string or a bare number/word literal.
+func (p *parser) parseLiteral() (string, error) {
+	p.skipSpace()
+	if c := p.peek(); c == '"' || c == '\'' {
+		quote := c
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != quote {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return "", p.errf("unterminated string literal")
+		}
+		val := p.src[start:p.pos]
+		p.pos++
+		return val, nil
+	}
+	start := p.pos
+	for p.pos < len(p.src) && (isNameByte(p.src[p.pos]) || p.src[p.pos] == '.') {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("expected literal value")
+	}
+	return p.src[start:p.pos], nil
+}

@@ -1,0 +1,343 @@
+package tpq
+
+import (
+	"testing"
+)
+
+// The six queries of the paper's Figure 1. Variable numbering matches the
+// paper: $1=article, $2=section, $3=algorithm, $4=paragraph.
+const (
+	srcQ1 = `//article[./section[./algorithm and ./paragraph[.contains("XML" and "streaming")]]]`
+	srcQ2 = `//article[./section[./algorithm and ./paragraph and .contains("XML" and "streaming")]]`
+	srcQ3 = `//article[.//algorithm and ./section[./paragraph[.contains("XML" and "streaming")]]]`
+	srcQ4 = `//article[.//algorithm and ./section[./paragraph and .contains("XML" and "streaming")]]`
+	srcQ5 = `//article[./section[./paragraph and .contains("XML" and "streaming")]]`
+	srcQ6 = `//article[.contains("XML" and "streaming")]`
+)
+
+func TestParseQ1Shape(t *testing.T) {
+	q := MustParse(srcQ1)
+	if q.Size() != 4 {
+		t.Fatalf("Q1 has %d nodes, want 4", q.Size())
+	}
+	if q.Nodes[0].Tag != "article" || q.Dist != 0 {
+		t.Fatalf("root/distinguished wrong: %+v dist=%d", q.Nodes[0], q.Dist)
+	}
+	tags := map[string]bool{}
+	for _, n := range q.Nodes {
+		tags[n.Tag] = true
+	}
+	for _, want := range []string{"article", "section", "algorithm", "paragraph"} {
+		if !tags[want] {
+			t.Errorf("missing node %q", want)
+		}
+	}
+	// paragraph carries the contains predicate.
+	pi := -1
+	for i, n := range q.Nodes {
+		if n.Tag == "paragraph" {
+			pi = i
+		}
+	}
+	if pi < 0 || len(q.Nodes[pi].Contains) != 1 {
+		t.Fatalf("paragraph contains predicates wrong")
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseMainPathDistinguished(t *testing.T) {
+	q := MustParse(`//site/regions//item[./name]`)
+	if q.Nodes[q.Dist].Tag != "item" {
+		t.Errorf("distinguished = %s, want item", q.Nodes[q.Dist].Tag)
+	}
+	if q.Size() != 4 {
+		t.Errorf("size = %d", q.Size())
+	}
+}
+
+func TestParseAxes(t *testing.T) {
+	q := MustParse(`//a[.//b and ./c]`)
+	for _, n := range q.Nodes[1:] {
+		switch n.Tag {
+		case "b":
+			if n.Axis != Descendant {
+				t.Error("b should be //")
+			}
+		case "c":
+			if n.Axis != Child {
+				t.Error("c should be /")
+			}
+		}
+	}
+}
+
+func TestParseValuePredicates(t *testing.T) {
+	q := MustParse(`//book[@price < 100 and @lang = "en" and ./title]`)
+	root := q.Nodes[0]
+	if len(root.Values) != 2 {
+		t.Fatalf("value preds = %d, want 2", len(root.Values))
+	}
+	if root.Values[0].Attr != "price" || root.Values[0].Op != OpLt || root.Values[0].Value != "100" {
+		t.Errorf("first value pred = %+v", root.Values[0])
+	}
+	if root.Values[1].Attr != "lang" || root.Values[1].Op != OpEq || root.Values[1].Value != "en" {
+		t.Errorf("second value pred = %+v", root.Values[1])
+	}
+}
+
+func TestParseContainsVariants(t *testing.T) {
+	a := MustParse(`//p[.contains("xml")]`)
+	b := MustParse(`//p[contains(., "xml")]`)
+	if a.Canon() != b.Canon() {
+		t.Errorf(".contains and contains(.,) differ: %q vs %q", a.Canon(), b.Canon())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`article`,        // missing axis
+		`//`,             // missing name
+		`//a[`,           // unclosed predicate
+		`//a[./]`,        // empty step
+		`//a[@]`,         // missing attribute
+		`//a[@p ~ 3]`,    // bad operator
+		`//a[.contains(`, // unterminated contains
+		`//a] trailing`,  // trailing junk
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+// TestClosureFigure4 checks the closure of Q1 against the paper's Figure 4
+// predicate by predicate.
+func TestClosureFigure4(t *testing.T) {
+	q := MustParse(srcQ1)
+	cl := ClosureOf(q)
+	e := q.Nodes[qIndex(q, "paragraph")].Contains[0]
+	want := []Pred{
+		{Kind: PredPC, X: 1, Y: 2},
+		{Kind: PredPC, X: 2, Y: 3},
+		{Kind: PredPC, X: 2, Y: 4},
+		{Kind: PredTag, X: 1, Tag: "article"},
+		{Kind: PredTag, X: 2, Tag: "section"},
+		{Kind: PredTag, X: 3, Tag: "algorithm"},
+		{Kind: PredTag, X: 4, Tag: "paragraph"},
+		{Kind: PredContains, X: 4, Expr: e},
+		{Kind: PredAD, X: 1, Y: 2},
+		{Kind: PredAD, X: 2, Y: 3},
+		{Kind: PredAD, X: 2, Y: 4},
+		{Kind: PredAD, X: 1, Y: 3},
+		{Kind: PredAD, X: 1, Y: 4},
+		{Kind: PredContains, X: 2, Expr: e},
+		{Kind: PredContains, X: 1, Expr: e},
+	}
+	if cl.Len() != len(want) {
+		t.Errorf("closure has %d predicates, want %d:\n%s", cl.Len(), len(want), cl)
+	}
+	for _, p := range want {
+		if !cl.Has(p) {
+			t.Errorf("closure missing %s", p.Key())
+		}
+	}
+}
+
+func qIndex(q *Query, tag string) int {
+	for i := range q.Nodes {
+		if q.Nodes[i].Tag == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestClosureIdempotent(t *testing.T) {
+	for _, src := range []string{srcQ1, srcQ3, srcQ5, srcQ6} {
+		cl := ClosureOf(MustParse(src))
+		again := Closure(cl)
+		if !cl.Equal(again) {
+			t.Errorf("closure of %s not idempotent", src)
+		}
+	}
+}
+
+func TestDerivable(t *testing.T) {
+	q := MustParse(srcQ1)
+	cl := ClosureOf(q)
+	e := q.Nodes[qIndex(q, "paragraph")].Contains[0]
+	derivable := []Pred{
+		{Kind: PredAD, X: 1, Y: 2}, // from pc(1,2)
+		{Kind: PredAD, X: 1, Y: 3}, // from ad(1,2), ad(2,3)
+		{Kind: PredContains, X: 1, Expr: e},
+		{Kind: PredContains, X: 2, Expr: e},
+	}
+	for _, p := range derivable {
+		if !Derivable(cl, p) {
+			t.Errorf("%s should be derivable", p.Key())
+		}
+	}
+	notDerivable := []Pred{
+		{Kind: PredPC, X: 1, Y: 2},
+		{Kind: PredPC, X: 2, Y: 3},
+		{Kind: PredContains, X: 4, Expr: e},
+		{Kind: PredTag, X: 1, Tag: "article"},
+	}
+	for _, p := range notDerivable {
+		if Derivable(cl, p) {
+			t.Errorf("%s should not be derivable", p.Key())
+		}
+	}
+}
+
+// TestCoreFigure5 reproduces §3.3: the core of closure(Q1) minus
+// {pc($2,$3), ad($2,$3)} is exactly query Q3 of Figure 1 (Figure 5 lists
+// its predicates).
+func TestCoreFigure5(t *testing.T) {
+	q := MustParse(srcQ1)
+	cl := ClosureOf(q)
+	reduced := cl.Minus(
+		Pred{Kind: PredPC, X: 2, Y: 3},
+		Pred{Kind: PredAD, X: 2, Y: 3},
+	)
+	core := Core(reduced)
+	e := q.Nodes[qIndex(q, "paragraph")].Contains[0]
+	wantPresent := []Pred{
+		{Kind: PredPC, X: 1, Y: 2},
+		{Kind: PredPC, X: 2, Y: 4},
+		{Kind: PredAD, X: 1, Y: 3},
+		{Kind: PredContains, X: 4, Expr: e},
+	}
+	for _, p := range wantPresent {
+		if !core.Has(p) {
+			t.Errorf("core missing %s:\n%s", p.Key(), core)
+		}
+	}
+	wantAbsent := []Pred{
+		{Kind: PredAD, X: 1, Y: 2},
+		{Kind: PredAD, X: 1, Y: 4},
+		{Kind: PredAD, X: 2, Y: 4},
+		{Kind: PredContains, X: 1, Expr: e},
+		{Kind: PredContains, X: 2, Expr: e},
+	}
+	for _, p := range wantAbsent {
+		if core.Has(p) {
+			t.Errorf("core should not contain %s", p.Key())
+		}
+	}
+	// Rebuilding the tree yields Q3.
+	got, err := TreeFromPreds(core, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Canon() != MustParse(srcQ3).Canon() {
+		t.Errorf("rebuilt query = %s\nwant shape of %s", got, srcQ3)
+	}
+}
+
+// TestNonRelaxation reproduces the §3.3 negative example: dropping only
+// ad($1,$3) from closure(Q1) yields an equivalent query (it is derivable),
+// so it is not a relaxation.
+func TestNonRelaxation(t *testing.T) {
+	q := MustParse(srcQ1)
+	cl := ClosureOf(q)
+	p := Pred{Kind: PredAD, X: 1, Y: 3}
+	if !Derivable(cl, p) {
+		t.Fatal("ad($1,$3) should be derivable from the rest of the closure")
+	}
+	reduced := cl.Minus(p)
+	got, err := TreeFromPreds(Core(reduced), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equivalent(got, q) {
+		t.Error("dropping a derivable predicate changed the query")
+	}
+}
+
+func TestTreeFromPredsErrors(t *testing.T) {
+	// Missing tag.
+	s := NewPredSet()
+	s.Add(Pred{Kind: PredPC, X: 1, Y: 2})
+	s.Add(Pred{Kind: PredTag, X: 1, Tag: "a"})
+	if _, err := TreeFromPreds(s, 1); err == nil {
+		t.Error("accepted variable without tag")
+	}
+	// Two roots (disconnected).
+	s = NewPredSet()
+	s.Add(Pred{Kind: PredTag, X: 1, Tag: "a"})
+	s.Add(Pred{Kind: PredTag, X: 2, Tag: "b"})
+	if _, err := TreeFromPreds(s, 1); err == nil {
+		t.Error("accepted two roots")
+	}
+	// Two incoming edges.
+	s = NewPredSet()
+	s.Add(Pred{Kind: PredTag, X: 1, Tag: "a"})
+	s.Add(Pred{Kind: PredTag, X: 2, Tag: "b"})
+	s.Add(Pred{Kind: PredTag, X: 3, Tag: "c"})
+	s.Add(Pred{Kind: PredPC, X: 1, Y: 2})
+	s.Add(Pred{Kind: PredPC, X: 1, Y: 3})
+	s.Add(Pred{Kind: PredAD, X: 2, Y: 3})
+	if _, err := TreeFromPreds(s, 1); err == nil {
+		t.Error("accepted DAG (two incoming edges)")
+	}
+	// Missing distinguished variable.
+	s = NewPredSet()
+	s.Add(Pred{Kind: PredTag, X: 1, Tag: "a"})
+	if _, err := TreeFromPreds(s, 9); err == nil {
+		t.Error("accepted missing distinguished variable")
+	}
+}
+
+func TestCanonInvariance(t *testing.T) {
+	// Same pattern written with branches in different orders.
+	a := MustParse(`//a[./b and ./c]`)
+	b := MustParse(`//a[./c and ./b]`)
+	if a.Canon() != b.Canon() {
+		t.Errorf("canon differs for reordered branches:\n%s\n%s", a.Canon(), b.Canon())
+	}
+	c := MustParse(`//a[.//b and ./c]`)
+	if a.Canon() == c.Canon() {
+		t.Error("canon ignores axes")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	q := MustParse(srcQ1)
+	c := q.Clone()
+	c.Nodes[0].Tag = "changed"
+	c.Nodes[qIndex(c, "paragraph")].Contains = nil
+	if q.Nodes[0].Tag != "article" {
+		t.Error("clone shares node storage")
+	}
+	if len(q.Nodes[qIndex(q, "paragraph")].Contains) != 1 {
+		t.Error("clone shares contains storage")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	q := MustParse(srcQ1)
+	s := q.String()
+	for _, frag := range []string{"article", "section", "algorithm", "paragraph", "contains"} {
+		if !contains(s, frag) {
+			t.Errorf("String() missing %q: %s", frag, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

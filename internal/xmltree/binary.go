@@ -1,0 +1,195 @@
+package xmltree
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary snapshot format for parsed documents. Re-parsing large XML is
+// the dominant load cost; a snapshot restores the node table directly.
+//
+// Layout (all integers unsigned varints unless noted):
+//
+//	magic "FXT1"
+//	numTags, then each tag as len-prefixed UTF-8
+//	numNodes
+//	per node: tag id, end delta (end-id), level, parent+1,
+//	          text (len-prefixed), attr count, attrs (name,value pairs)
+//	source byte count (may be 0)
+
+var binaryMagic = [4]byte{'F', 'X', 'T', '1'}
+
+// maxBinaryCount caps counts read from snapshots so corrupted or
+// malicious input cannot trigger enormous allocations.
+const maxBinaryCount = 1 << 31
+
+// WriteBinary writes a snapshot of the document.
+func (d *Document) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(len(d.tags)))
+	for _, t := range d.tags {
+		writeString(bw, t)
+	}
+	writeUvarint(bw, uint64(len(d.nodeTag)))
+	for n := range d.nodeTag {
+		writeUvarint(bw, uint64(d.nodeTag[n]))
+		writeUvarint(bw, uint64(d.end[n])-uint64(n))
+		writeUvarint(bw, uint64(d.level[n]))
+		writeUvarint(bw, uint64(d.parent[n]+1))
+		writeString(bw, d.text[n])
+		writeUvarint(bw, uint64(len(d.attrs[n])))
+		for _, a := range d.attrs[n] {
+			writeString(bw, a.Name)
+			writeString(bw, a.Value)
+		}
+	}
+	writeUvarint(bw, uint64(d.size))
+	return bw.Flush()
+}
+
+// ReadBinary restores a document from a snapshot produced by WriteBinary.
+func ReadBinary(r io.Reader) (*Document, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("xmltree: snapshot: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, errors.New("xmltree: not a document snapshot (bad magic)")
+	}
+	numTags, err := readCount(br)
+	if err != nil {
+		return nil, err
+	}
+	d := &Document{
+		tags:   make([]string, numTags),
+		tagIDs: make(map[string]TagID, numTags),
+	}
+	for i := range d.tags {
+		s, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		d.tags[i] = s
+		d.tagIDs[s] = TagID(i)
+	}
+	numNodes, err := readCount(br)
+	if err != nil {
+		return nil, err
+	}
+	d.nodeTag = make([]TagID, numNodes)
+	d.end = make([]NodeID, numNodes)
+	d.level = make([]int32, numNodes)
+	d.parent = make([]NodeID, numNodes)
+	d.text = make([]string, numNodes)
+	d.attrs = make([][]Attr, numNodes)
+	for n := 0; n < numNodes; n++ {
+		tag, err := readCount(br)
+		if err != nil {
+			return nil, err
+		}
+		if tag >= numTags {
+			return nil, fmt.Errorf("xmltree: snapshot: node %d has invalid tag %d", n, tag)
+		}
+		d.nodeTag[n] = TagID(tag)
+		endDelta, err := readCount(br)
+		if err != nil {
+			return nil, err
+		}
+		end := n + endDelta
+		if end >= numNodes {
+			return nil, fmt.Errorf("xmltree: snapshot: node %d has invalid interval end %d", n, end)
+		}
+		d.end[n] = NodeID(end)
+		level, err := readCount(br)
+		if err != nil {
+			return nil, err
+		}
+		d.level[n] = int32(level)
+		parentPlus1, err := readCount(br)
+		if err != nil {
+			return nil, err
+		}
+		parent := parentPlus1 - 1
+		if parent >= n && !(n == 0 && parent == -1) {
+			return nil, fmt.Errorf("xmltree: snapshot: node %d has invalid parent %d", n, parent)
+		}
+		d.parent[n] = NodeID(parent)
+		if d.text[n], err = readString(br); err != nil {
+			return nil, err
+		}
+		nAttrs, err := readCount(br)
+		if err != nil {
+			return nil, err
+		}
+		if nAttrs > 0 {
+			attrs := make([]Attr, nAttrs)
+			for i := range attrs {
+				if attrs[i].Name, err = readString(br); err != nil {
+					return nil, err
+				}
+				if attrs[i].Value, err = readString(br); err != nil {
+					return nil, err
+				}
+			}
+			d.attrs[n] = attrs
+		}
+	}
+	size, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("xmltree: snapshot: %w", err)
+	}
+	if size > math.MaxInt64 {
+		return nil, errors.New("xmltree: snapshot: invalid source size")
+	}
+	d.size = int64(size)
+	d.byTag = make([][]NodeID, len(d.tags))
+	for n, t := range d.nodeTag {
+		d.byTag[t] = append(d.byTag[t], NodeID(n))
+	}
+	return d, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n]) //nolint:errcheck // surfaced by the final Flush
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	w.WriteString(s) //nolint:errcheck // surfaced by the final Flush
+}
+
+func readCount(r *bufio.Reader) (int, error) {
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("xmltree: snapshot: %w", err)
+	}
+	if v > maxBinaryCount {
+		return 0, fmt.Errorf("xmltree: snapshot: implausible count %d", v)
+	}
+	return int(v), nil
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := readCount(r)
+	if err != nil {
+		return "", err
+	}
+	if n == 0 {
+		return "", nil
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("xmltree: snapshot: %w", err)
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,132 @@
+package xmltree
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	d := mustParse(t, sampleXML)
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDocsEqual(t, d, got)
+}
+
+func assertDocsEqual(t *testing.T, want, got *Document) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), want.Len())
+	}
+	if got.SourceBytes() != want.SourceBytes() {
+		t.Errorf("SourceBytes = %d, want %d", got.SourceBytes(), want.SourceBytes())
+	}
+	for n := NodeID(0); int(n) < want.Len(); n++ {
+		if got.TagName(n) != want.TagName(n) ||
+			got.End(n) != want.End(n) ||
+			got.Level(n) != want.Level(n) ||
+			got.Parent(n) != want.Parent(n) ||
+			got.Text(n) != want.Text(n) {
+			t.Fatalf("node %d differs", n)
+		}
+		wa, ga := want.Attrs(n), got.Attrs(n)
+		if len(wa) != len(ga) {
+			t.Fatalf("node %d attr count %d != %d", n, len(ga), len(wa))
+		}
+		for i := range wa {
+			if wa[i] != ga[i] {
+				t.Fatalf("node %d attr %d differs", n, i)
+			}
+		}
+	}
+	// Tag indexes rebuilt correctly.
+	for ti := 0; ti < want.NumTags(); ti++ {
+		name := want.TagNameOf(TagID(ti))
+		if len(got.NodesWithTag(name)) != len(want.NodesWithTag(name)) {
+			t.Fatalf("tag %q index differs", name)
+		}
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"short magic": []byte("FX"),
+		"bad magic":   []byte("NOPE1234"),
+		"truncated":   []byte("FXT1\x05"),
+	}
+	for name, data := range cases {
+		if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestBinaryRejectsCorruptedBody(t *testing.T) {
+	d := mustParse(t, sampleXML)
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Truncations anywhere must error, not panic.
+	for cut := 5; cut < len(data); cut += 7 {
+		if _, err := ReadBinary(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("accepted truncation at %d", cut)
+		}
+	}
+}
+
+func TestBinaryPropertyRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomTree(r)
+		var buf bytes.Buffer
+		if err := d.WriteBinary(&buf); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Len() != d.Len() {
+			return false
+		}
+		for n := NodeID(0); int(n) < d.Len(); n++ {
+			if got.TagName(n) != d.TagName(n) || got.Parent(n) != d.Parent(n) ||
+				got.End(n) != d.End(n) || got.Text(n) != d.Text(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinarySpecialContent(t *testing.T) {
+	d := mustParse(t, `<a x="quote&quot;here">text with &lt;angle&gt; brackets &amp; unicode ☃</a>`)
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got.Text(0), "☃") {
+		t.Errorf("unicode lost: %q", got.Text(0))
+	}
+	if v, _ := got.Attr(0, "x"); v != `quote"here` {
+		t.Errorf("attr = %q", v)
+	}
+}

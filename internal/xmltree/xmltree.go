@@ -1,0 +1,422 @@
+// Package xmltree provides the XML data model used throughout FleXPath.
+//
+// A parsed document is a flat table of element nodes in pre-order. Each
+// node carries the interval encoding (start, end, level) introduced for
+// structural joins by Al-Khalifa et al. (ICDE 2002): node a is an ancestor
+// of node d iff start(a) < start(d) && start(d) <= end(a), and a is the
+// parent of d iff additionally level(d) == level(a)+1. Node identifiers
+// are pre-order positions, so start(n) == n and document order is the
+// natural order on NodeID.
+package xmltree
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies an element node within a Document. IDs are assigned in
+// pre-order, so comparing NodeIDs compares document order.
+type NodeID int32
+
+// InvalidNode is returned when no node exists (e.g. the parent of the root).
+const InvalidNode NodeID = -1
+
+// TagID is an interned element tag name.
+type TagID int32
+
+// InvalidTag is returned for tag names that do not occur in a document.
+const InvalidTag TagID = -1
+
+// Attr is a single element attribute.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Document is an immutable parsed XML document. All per-node accessors are
+// O(1); structural tests use the interval encoding. A Document is safe for
+// concurrent readers.
+type Document struct {
+	tags    []string
+	tagIDs  map[string]TagID
+	nodeTag []TagID
+	end     []NodeID
+	level   []int32
+	parent  []NodeID
+	text    []string
+	attrs   [][]Attr
+	byTag   [][]NodeID
+	size    int64 // bytes of source XML, if parsed from text
+}
+
+// Parse reads a complete XML document and builds its node table. Character
+// data is attributed to the innermost enclosing element. Processing
+// instructions, comments and directives are ignored. The document must have
+// exactly one root element.
+func Parse(r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	b := NewBuilder()
+	depth := 0
+	seenRoot := false
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if depth == 0 {
+				if seenRoot {
+					return nil, errors.New("xmltree: multiple root elements")
+				}
+				seenRoot = true
+			}
+			attrs := make([]Attr, 0, len(t.Attr))
+			for _, a := range t.Attr {
+				attrs = append(attrs, Attr{Name: a.Name.Local, Value: a.Value})
+			}
+			b.Open(t.Name.Local, attrs...)
+			depth++
+		case xml.EndElement:
+			b.Close()
+			depth--
+		case xml.CharData:
+			if depth > 0 {
+				b.Text(string(t))
+			}
+		}
+	}
+	if !seenRoot {
+		return nil, errors.New("xmltree: empty document")
+	}
+	if depth != 0 {
+		return nil, errors.New("xmltree: unbalanced elements")
+	}
+	d, err := b.Document()
+	if err != nil {
+		return nil, err
+	}
+	d.size = dec.InputOffset()
+	return d, nil
+}
+
+// ParseString is Parse over an in-memory string.
+func ParseString(s string) (*Document, error) {
+	d, err := Parse(strings.NewReader(s))
+	if err != nil {
+		return nil, err
+	}
+	d.size = int64(len(s))
+	return d, nil
+}
+
+// Len returns the number of element nodes.
+func (d *Document) Len() int { return len(d.nodeTag) }
+
+// SourceBytes returns the byte length of the XML the document was parsed
+// from, or 0 for documents assembled via a Builder.
+func (d *Document) SourceBytes() int64 { return d.size }
+
+// Root returns the root element.
+func (d *Document) Root() NodeID { return 0 }
+
+// Tag returns the interned tag of node n.
+func (d *Document) Tag(n NodeID) TagID { return d.nodeTag[n] }
+
+// TagName returns the tag name of node n.
+func (d *Document) TagName(n NodeID) string { return d.tags[d.nodeTag[n]] }
+
+// TagByName resolves a tag name to its TagID, or InvalidTag if the tag does
+// not occur in the document.
+func (d *Document) TagByName(name string) TagID {
+	if id, ok := d.tagIDs[name]; ok {
+		return id
+	}
+	return InvalidTag
+}
+
+// TagNameOf returns the name of an interned tag.
+func (d *Document) TagNameOf(t TagID) string { return d.tags[t] }
+
+// NumTags returns the number of distinct tags.
+func (d *Document) NumTags() int { return len(d.tags) }
+
+// End returns the interval end of node n: the largest NodeID in n's subtree.
+func (d *Document) End(n NodeID) NodeID { return d.end[n] }
+
+// Level returns the depth of node n (root is level 0).
+func (d *Document) Level(n NodeID) int { return int(d.level[n]) }
+
+// Parent returns the parent of node n, or InvalidNode for the root.
+func (d *Document) Parent(n NodeID) NodeID { return d.parent[n] }
+
+// Text returns the character data directly inside node n (excluding
+// descendants' text).
+func (d *Document) Text(n NodeID) string { return d.text[n] }
+
+// Attrs returns the attributes of node n. The returned slice must not be
+// modified.
+func (d *Document) Attrs(n NodeID) []Attr { return d.attrs[n] }
+
+// Attr looks up an attribute by name on node n.
+func (d *Document) Attr(n NodeID, name string) (string, bool) {
+	for _, a := range d.attrs[n] {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// IsAncestor reports whether a is a proper ancestor of n.
+func (d *Document) IsAncestor(a, n NodeID) bool {
+	return a < n && n <= d.end[a]
+}
+
+// IsParent reports whether a is the parent of n.
+func (d *Document) IsParent(a, n NodeID) bool {
+	return d.parent[n] == a
+}
+
+// Contains reports whether n's subtree (including n itself) contains m.
+func (d *Document) Contains(n, m NodeID) bool {
+	return n <= m && m <= d.end[n]
+}
+
+// NodesWithTag returns all nodes with the given tag name in document order.
+// The returned slice must not be modified.
+func (d *Document) NodesWithTag(name string) []NodeID {
+	id := d.TagByName(name)
+	if id == InvalidTag {
+		return nil
+	}
+	return d.byTag[id]
+}
+
+// NodesWithTagID returns all nodes with tag t in document order. The
+// returned slice must not be modified.
+func (d *Document) NodesWithTagID(t TagID) []NodeID {
+	if t == InvalidTag {
+		return nil
+	}
+	return d.byTag[t]
+}
+
+// Children returns the child elements of n in document order.
+func (d *Document) Children(n NodeID) []NodeID {
+	var out []NodeID
+	for c := n + 1; c <= d.end[n]; c = d.end[c] + 1 {
+		out = append(out, c)
+	}
+	return out
+}
+
+// SubtreeText concatenates all character data in n's subtree in document
+// order, separating element boundaries with single spaces.
+func (d *Document) SubtreeText(n NodeID) string {
+	var sb strings.Builder
+	for m := n; m <= d.end[n]; m++ {
+		if t := d.text[m]; t != "" {
+			if sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(t)
+		}
+	}
+	return sb.String()
+}
+
+// Path returns the slash-separated tag path from the root to n, e.g.
+// "/site/regions/africa/item".
+func (d *Document) Path(n NodeID) string {
+	var parts []string
+	for m := n; m != InvalidNode; m = d.parent[m] {
+		parts = append(parts, d.TagName(m))
+	}
+	var sb strings.Builder
+	for i := len(parts) - 1; i >= 0; i-- {
+		sb.WriteByte('/')
+		sb.WriteString(parts[i])
+	}
+	return sb.String()
+}
+
+// WriteXML serializes the subtree rooted at n as XML.
+func (d *Document) WriteXML(w io.Writer, n NodeID) error {
+	bw, ok := w.(io.StringWriter)
+	if !ok {
+		bw = stringWriter{w}
+	}
+	return d.writeXML(bw, n)
+}
+
+type stringWriter struct{ io.Writer }
+
+func (s stringWriter) WriteString(str string) (int, error) {
+	return s.Write([]byte(str))
+}
+
+func (d *Document) writeXML(w io.StringWriter, n NodeID) error {
+	if _, err := w.WriteString("<" + d.TagName(n)); err != nil {
+		return err
+	}
+	for _, a := range d.attrs[n] {
+		if _, err := w.WriteString(" " + a.Name + `="` + escapeXML(a.Value) + `"`); err != nil {
+			return err
+		}
+	}
+	if _, err := w.WriteString(">"); err != nil {
+		return err
+	}
+	if t := d.text[n]; t != "" {
+		if _, err := w.WriteString(escapeXML(t)); err != nil {
+			return err
+		}
+	}
+	for _, c := range d.Children(n) {
+		if err := d.writeXML(w, c); err != nil {
+			return err
+		}
+	}
+	_, err := w.WriteString("</" + d.TagName(n) + ">")
+	return err
+}
+
+func escapeXML(s string) string {
+	if !strings.ContainsAny(s, "<>&\"") {
+		return s
+	}
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// Builder assembles a Document programmatically without going through XML
+// text. Calls must form a balanced Open/Close sequence with exactly one
+// top-level element.
+type Builder struct {
+	tags    []string
+	tagIDs  map[string]TagID
+	nodeTag []TagID
+	end     []NodeID
+	level   []int32
+	parent  []NodeID
+	text    []string
+	attrs   [][]Attr
+	stack   []NodeID
+	roots   int
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{tagIDs: make(map[string]TagID)}
+}
+
+func (b *Builder) tagID(name string) TagID {
+	if id, ok := b.tagIDs[name]; ok {
+		return id
+	}
+	id := TagID(len(b.tags))
+	b.tags = append(b.tags, name)
+	b.tagIDs[name] = id
+	return id
+}
+
+// Open starts a new element and returns its NodeID.
+func (b *Builder) Open(tag string, attrs ...Attr) NodeID {
+	id := NodeID(len(b.nodeTag))
+	parent := InvalidNode
+	level := int32(0)
+	if len(b.stack) > 0 {
+		parent = b.stack[len(b.stack)-1]
+		level = b.level[parent] + 1
+	} else {
+		b.roots++
+	}
+	b.nodeTag = append(b.nodeTag, b.tagID(tag))
+	b.end = append(b.end, id)
+	b.level = append(b.level, level)
+	b.parent = append(b.parent, parent)
+	b.text = append(b.text, "")
+	if len(attrs) == 0 {
+		b.attrs = append(b.attrs, nil)
+	} else {
+		b.attrs = append(b.attrs, append([]Attr(nil), attrs...))
+	}
+	b.stack = append(b.stack, id)
+	return id
+}
+
+// Text appends character data to the currently open element. Leading and
+// trailing whitespace is preserved; purely-whitespace data is dropped.
+func (b *Builder) Text(s string) {
+	if len(b.stack) == 0 {
+		return
+	}
+	if strings.TrimSpace(s) == "" {
+		return
+	}
+	n := b.stack[len(b.stack)-1]
+	if b.text[n] == "" {
+		b.text[n] = s
+	} else {
+		b.text[n] += " " + s
+	}
+}
+
+// Close ends the most recently opened element.
+func (b *Builder) Close() {
+	if len(b.stack) == 0 {
+		return
+	}
+	n := b.stack[len(b.stack)-1]
+	b.stack = b.stack[:len(b.stack)-1]
+	b.end[n] = NodeID(len(b.nodeTag) - 1)
+}
+
+// Element opens an element containing only text and immediately closes it.
+func (b *Builder) Element(tag, text string, attrs ...Attr) NodeID {
+	n := b.Open(tag, attrs...)
+	b.Text(text)
+	b.Close()
+	return n
+}
+
+// Document finalizes the builder. It fails if elements are unbalanced or
+// there is not exactly one root.
+func (b *Builder) Document() (*Document, error) {
+	if len(b.stack) != 0 {
+		return nil, fmt.Errorf("xmltree: %d unclosed elements", len(b.stack))
+	}
+	if b.roots != 1 {
+		return nil, fmt.Errorf("xmltree: document must have exactly one root, got %d", b.roots)
+	}
+	d := &Document{
+		tags:    b.tags,
+		tagIDs:  b.tagIDs,
+		nodeTag: b.nodeTag,
+		end:     b.end,
+		level:   b.level,
+		parent:  b.parent,
+		text:    b.text,
+		attrs:   b.attrs,
+	}
+	d.byTag = make([][]NodeID, len(d.tags))
+	for n, t := range d.nodeTag {
+		d.byTag[t] = append(d.byTag[t], NodeID(n))
+	}
+	// Pre-order assignment already yields document order per tag, but be
+	// defensive in case of future builder extensions.
+	for _, l := range d.byTag {
+		if !sort.SliceIsSorted(l, func(i, j int) bool { return l[i] < l[j] }) {
+			sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,96 @@
+package flexpath
+
+import (
+	"flexpath/internal/core"
+	"flexpath/internal/exec"
+	"flexpath/internal/rank"
+	"flexpath/internal/topk"
+)
+
+// topkResult aliases the internal result type for the bridge below.
+type topkResult = topk.Result
+
+// bridgeOptions carries converted options plus the internal metrics sink.
+type bridgeOptions struct {
+	opts topk.Options
+}
+
+func topkOptions(o SearchOptions) *bridgeOptions {
+	// Pagination: the algorithms compute the top Offset+K answers; the
+	// public layer slices the window off afterwards.
+	return &bridgeOptions{opts: topk.Options{
+		K:        o.K + o.Offset,
+		Scheme:   o.Scheme.rank(),
+		Parallel: o.Parallel,
+		Metrics:  &topk.Metrics{},
+	}}
+}
+
+func (b *bridgeOptions) export() Metrics {
+	m := b.opts.Metrics
+	return Metrics{
+		QueriesEvaluated:   m.QueriesEvaluated,
+		PlansRun:           m.PlansRun,
+		RelaxationsEncoded: m.RelaxationsEncoded,
+		Restarts:           m.Restarts,
+		TuplesGenerated:    m.Pipeline.TuplesGenerated,
+		TuplesPruned:       m.Pipeline.TuplesPruned,
+		SortedTuples:       m.Pipeline.SortedTuples,
+		Buckets:            m.Pipeline.Buckets,
+		PairsMaterialized:  m.PairsMaterialized,
+	}
+}
+
+func runDPO(d *Document, chain *core.Chain, b *bridgeOptions) []topkResult {
+	return topk.DPO(d.ev, chain, b.opts)
+}
+
+func runSSO(d *Document, chain *core.Chain, b *bridgeOptions) []topkResult {
+	return topk.SSO(chain, d.est, b.opts)
+}
+
+func runHybrid(d *Document, chain *core.Chain, b *bridgeOptions) []topkResult {
+	return topk.Hybrid(chain, d.est, b.opts)
+}
+
+func explainPlan(d *Document, chain *core.Chain, b *bridgeOptions) (string, error) {
+	return topk.Explain(chain, d.est, b.opts)
+}
+
+func analyzePlan(d *Document, chain *core.Chain, b *bridgeOptions) (string, error) {
+	return topk.Analyze(chain, d.est, b.opts)
+}
+
+// rankScore converts a public Answer back to the internal score pair for
+// cross-document merging.
+func rankScore(a Answer) rank.Score {
+	return rank.Score{SS: a.Structural, KS: a.Keyword}
+}
+
+// dataRelaxBudget bounds how many shortcut edges the data-relaxation
+// baseline may materialize before declaring failure.
+const dataRelaxBudget = 1 << 26
+
+func runDataRelax(d *Document, chain *core.Chain, b *bridgeOptions) ([]topkResult, error) {
+	return topk.DataRelax(chain, b.opts, dataRelaxBudget)
+}
+
+// runDPOSemijoin exposes the semijoin DPO ablation to the benchmarks.
+func runDPOSemijoin(d *Document, chain *core.Chain, k int) []topkResult {
+	return topk.DPOSemijoin(d.ev, chain, topk.Options{K: k, Scheme: rank.StructureFirst})
+}
+
+// runPlanAblation exposes the best-only ablation to the benchmarks.
+func runPlanAblation(d *Document, plan *exec.Plan, k int, disableBestOnly bool) []exec.Answer {
+	return exec.Run(plan, exec.Options{
+		K: k, Mode: exec.ModeBuckets, DisableBestOnly: disableBestOnly,
+	})
+}
+
+// runEvaluate exposes the two exact-evaluation strategies to benchmarks.
+func runEvaluate(d *Document, q *Query, irFirst bool) int {
+	if irFirst {
+		return len(d.ev.EvaluateIRFirst(q.q))
+	}
+	return len(d.ev.Evaluate(q.q))
+}

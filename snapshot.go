@@ -1,0 +1,143 @@
+package flexpath
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"flexpath/internal/core"
+	"flexpath/internal/exec"
+	"flexpath/internal/ir"
+	"flexpath/internal/stats"
+	"flexpath/internal/xmltree"
+)
+
+// Indexed snapshots persist the parsed tree, the inverted index and the
+// document statistics together, so restoring skips XML parsing, index
+// construction and the statistics collection pass — the three load
+// costs, in order. Plain snapshots (SaveSnapshot) persist the tree only.
+//
+// Container layout: magic "FXP2", then three length-prefixed sections
+// (tree, statistics, index), each in its own self-describing format.
+var indexedMagic = [4]byte{'F', 'X', 'P', '2'}
+
+// SaveIndexedSnapshot writes a snapshot including the search indexes.
+func (d *Document) SaveIndexedSnapshot(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(indexedMagic[:]); err != nil {
+		return err
+	}
+	sections := []func(io.Writer) error{
+		d.tree.WriteBinary,
+		d.stats.WriteBinary,
+		d.index.WriteBinary,
+	}
+	var buf bytes.Buffer
+	for _, write := range sections {
+		buf.Reset()
+		if err := write(&buf); err != nil {
+			return err
+		}
+		var lenBuf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(lenBuf[:], uint64(buf.Len()))
+		if _, err := bw.Write(lenBuf[:n]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveIndexedSnapshotFile writes an indexed snapshot to path.
+func (d *Document) SaveIndexedSnapshotFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.SaveIndexedSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadIndexedSnapshot restores a document with its indexes from a
+// SaveIndexedSnapshot stream.
+func LoadIndexedSnapshot(r io.Reader) (*Document, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("flexpath: snapshot: %w", err)
+	}
+	if magic != indexedMagic {
+		return nil, errors.New("flexpath: not an indexed snapshot (bad magic)")
+	}
+	section := func() (*io.LimitedReader, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("flexpath: snapshot: %w", err)
+		}
+		return &io.LimitedReader{R: br, N: int64(n)}, nil
+	}
+	sec, err := section()
+	if err != nil {
+		return nil, err
+	}
+	tree, err := xmltree.ReadBinary(sec)
+	if err != nil {
+		return nil, err
+	}
+	if err := drain(sec); err != nil {
+		return nil, err
+	}
+	sec, err = section()
+	if err != nil {
+		return nil, err
+	}
+	st, err := stats.ReadStatsBinary(tree, sec)
+	if err != nil {
+		return nil, err
+	}
+	if err := drain(sec); err != nil {
+		return nil, err
+	}
+	sec, err = section()
+	if err != nil {
+		return nil, err
+	}
+	ix, err := ir.ReadIndexBinary(tree, sec)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{
+		tree:   tree,
+		index:  ix,
+		stats:  st,
+		est:    stats.NewEstimator(st, ix),
+		ev:     exec.NewEvaluator(tree, ix),
+		chains: make(map[string]*core.Chain),
+	}, nil
+}
+
+// drain consumes any bytes a section reader left unread (the section
+// parsers buffer internally and may stop short of the section boundary).
+func drain(r *io.LimitedReader) error {
+	_, err := io.Copy(io.Discard, r)
+	return err
+}
+
+// LoadIndexedSnapshotFile restores an indexed snapshot from path.
+func LoadIndexedSnapshotFile(path string) (*Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadIndexedSnapshot(f)
+}

@@ -1,0 +1,191 @@
+package flexpath
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	doc, err := LoadString(articlesXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := doc.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Nodes() != doc.Nodes() {
+		t.Fatalf("nodes %d != %d", restored.Nodes(), doc.Nodes())
+	}
+	// Searches against the restored document produce identical results.
+	q := MustParseQuery(paperQ1)
+	a, err := doc.Search(q, SearchOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := restored.Search(q, SearchOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("answers %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Structural != b[i].Structural || a[i].Keyword != b[i].Keyword {
+			t.Errorf("answer %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLoadAuto(t *testing.T) {
+	dir := t.TempDir()
+	xmlPath := filepath.Join(dir, "doc.xml")
+	if err := os.WriteFile(xmlPath, []byte(articlesXML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := LoadAuto(xmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, "doc.fxt")
+	if err := doc.SaveSnapshotFile(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := LoadAuto(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Nodes() != doc.Nodes() {
+		t.Errorf("auto-loaded snapshot has %d nodes, want %d", snap.Nodes(), doc.Nodes())
+	}
+	if _, err := LoadAuto(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+	// A tiny non-XML non-snapshot file must fail cleanly.
+	junk := filepath.Join(dir, "junk")
+	if err := os.WriteFile(junk, []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAuto(junk); err == nil {
+		t.Error("junk accepted")
+	}
+}
+
+func TestLoadSnapshotRejectsXML(t *testing.T) {
+	if _, err := LoadSnapshot(bytes.NewReader([]byte(articlesXML))); err == nil {
+		t.Error("XML accepted as snapshot")
+	}
+}
+
+func TestIndexedSnapshotRoundTrip(t *testing.T) {
+	doc, err := LoadString(articlesXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := doc.SaveIndexedSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadIndexedSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustParseQuery(paperQ1)
+	a, err := doc.Search(q, SearchOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := restored.Search(q, SearchOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("answers %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Structural != b[i].Structural || a[i].Keyword != b[i].Keyword {
+			t.Errorf("answer %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Relaxation chains (penalties need stats + index) agree too.
+	sa, err := doc.Relaxations(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := restored.Relaxations(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sa) != len(sb) {
+		t.Fatalf("chains differ in length: %d vs %d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i].Description != sb[i].Description || sa[i].Penalty != sb[i].Penalty {
+			t.Errorf("chain step %d differs: %+v vs %+v", i, sa[i], sb[i])
+		}
+	}
+}
+
+func TestIndexedSnapshotFileAndAuto(t *testing.T) {
+	doc, err := LoadString(articlesXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "doc.fxp")
+	if err := doc.SaveIndexedSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	auto, err := LoadAuto(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Nodes() != doc.Nodes() {
+		t.Errorf("auto-loaded indexed snapshot: %d nodes, want %d", auto.Nodes(), doc.Nodes())
+	}
+	if _, err := LoadIndexedSnapshotFile("/nonexistent"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestIndexedSnapshotRejectsGarbage(t *testing.T) {
+	for name, data := range map[string][]byte{
+		"empty":      {},
+		"bad magic":  []byte("NOPE9999"),
+		"plain tree": []byte("FXT1whatever"),
+		"truncated":  []byte("FXP2\x05abc"),
+	} {
+		if _, err := LoadIndexedSnapshot(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestIndexedSnapshotBM25Preserved(t *testing.T) {
+	doc, err := LoadWithOptions(strings.NewReader(articlesXML), DocumentOptions{BM25: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := doc.SaveIndexedSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadIndexedSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustParseQuery(paperQ1)
+	a, _ := doc.Search(q, SearchOptions{K: 3, Scheme: KeywordFirst})
+	b, _ := restored.Search(q, SearchOptions{K: 3, Scheme: KeywordFirst})
+	for i := range a {
+		if a[i].Keyword != b[i].Keyword {
+			t.Errorf("BM25 scores drifted after restore: %f vs %f", a[i].Keyword, b[i].Keyword)
+		}
+	}
+}
