@@ -1,0 +1,272 @@
+package flexpath
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"flexpath/internal/xmark"
+)
+
+// renderRanking serializes a ranking so tests can assert byte-identity.
+func renderRanking(answers []Answer) string {
+	var sb strings.Builder
+	for i, a := range answers {
+		fmt.Fprintf(&sb, "%d|%s|%s|%.12f|%.12f|%d|%v\n",
+			i, a.Path, a.ID, a.Structural, a.Keyword, a.Relaxations, a.Relaxed)
+	}
+	return sb.String()
+}
+
+func renderCollRanking(answers []CollectionAnswer) string {
+	var sb strings.Builder
+	for i, a := range answers {
+		fmt.Fprintf(&sb, "%d|%s|%s|%s|%.12f|%.12f|%d|%v\n",
+			i, a.DocName, a.Path, a.ID, a.Structural, a.Keyword, a.Relaxations, a.Relaxed)
+	}
+	return sb.String()
+}
+
+func xmarkDoc(t *testing.T, kb int, seed int64) *Document {
+	t.Helper()
+	tree, err := xmark.Build(xmark.Config{TargetBytes: int64(kb) << 10, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewDocument(tree)
+}
+
+// TestCachedAnswersIdenticalToCold is the correctness contract of the
+// result cache: for every algorithm, a cache hit returns exactly the
+// ranking a cold evaluation produces.
+func TestCachedAnswersIdenticalToCold(t *testing.T) {
+	doc := xmarkDoc(t, 200, 7)
+	doc.SetCache(64)
+	q := MustParseQuery(`//item[./description/parlist and ./mailbox/mail/text]`)
+	for _, algo := range []Algorithm{Hybrid, SSO, DPO} {
+		for _, scheme := range []Scheme{StructureFirst, KeywordFirst, Combined} {
+			opts := SearchOptions{K: 15, Algorithm: algo, Scheme: scheme}
+			coldOpts := opts
+			coldOpts.NoCache = true
+			cold, err := doc.Search(q, coldOpts)
+			if err != nil {
+				t.Fatalf("%v/%v cold: %v", algo, scheme, err)
+			}
+			if _, err := doc.Search(q, opts); err != nil { // miss, populates
+				t.Fatalf("%v/%v prime: %v", algo, scheme, err)
+			}
+			warm, err := doc.Search(q, opts) // hit
+			if err != nil {
+				t.Fatalf("%v/%v warm: %v", algo, scheme, err)
+			}
+			if renderRanking(cold) != renderRanking(warm) {
+				t.Errorf("%v/%v: cached ranking differs from cold evaluation\ncold:\n%swarm:\n%s",
+					algo, scheme, renderRanking(cold), renderRanking(warm))
+			}
+		}
+	}
+	st, ok := doc.CacheStats()
+	if !ok {
+		t.Fatal("CacheStats reported no cache")
+	}
+	// 9 combinations: each primed once (miss) and hit once; NoCache runs
+	// must not touch the cache at all.
+	if st.Misses != 9 || st.Hits != 9 {
+		t.Errorf("cache counters = %+v, want 9 misses / 9 hits", st)
+	}
+}
+
+func TestCacheKeySeparatesOptions(t *testing.T) {
+	doc, err := LoadString(articlesXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.SetCache(64)
+	q := MustParseQuery(paperQ1)
+	a2, err := doc.Search(q, SearchOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a3, err := doc.Search(q, SearchOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a2) != 2 || len(a3) != 3 {
+		t.Fatalf("K confusion across cache entries: %d, %d", len(a2), len(a3))
+	}
+	// Different scheme must not collide either.
+	kw, err := doc.Search(q, SearchOptions{K: 2, Scheme: KeywordFirst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kwCold, err := doc.Search(q, SearchOptions{K: 2, Scheme: KeywordFirst, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderRanking(kw) != renderRanking(kwCold) {
+		t.Error("scheme-specific entry polluted by other scheme")
+	}
+	if st, _ := doc.CacheStats(); st.Entries != 3 {
+		t.Errorf("entries = %d, want 3 distinct", st.Entries)
+	}
+}
+
+func TestCachePaginationSharing(t *testing.T) {
+	doc, err := LoadString(articlesXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.SetCache(64)
+	q := MustParseQuery(paperQ1)
+	full, err := doc.Search(q, SearchOptions{K: 3, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doc.Search(q, SearchOptions{K: 2, Offset: 1}); err != nil {
+		t.Fatal(err)
+	}
+	page, err := doc.Search(q, SearchOptions{K: 2, Offset: 1}) // hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderRanking(page) != renderRanking(full[1:]) {
+		t.Errorf("cached page differs:\n%s\nvs\n%s", renderRanking(page), renderRanking(full[1:]))
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	doc, err := LoadString(articlesXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.SetCache(1)
+	q := MustParseQuery(paperQ1)
+	for k := 1; k <= 4; k++ {
+		if _, err := doc.Search(q, SearchOptions{K: k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, _ := doc.CacheStats()
+	if st.Evictions == 0 {
+		t.Errorf("no evictions in a capacity-1 cache: %+v", st)
+	}
+	if st.Entries > 1 {
+		t.Errorf("capacity-1 cache holds %d entries", st.Entries)
+	}
+	// Post-eviction correctness: the evicted query re-evaluates cleanly.
+	a, err := doc.Search(q, SearchOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 1 || a[0].ID != "a1" {
+		t.Errorf("post-eviction answer: %+v", a)
+	}
+}
+
+func TestCacheDisabledByDefault(t *testing.T) {
+	doc, err := LoadString(articlesXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc.CacheStats(); ok {
+		t.Error("cache reported enabled on a fresh document")
+	}
+	doc.SetCache(8)
+	if _, ok := doc.CacheStats(); !ok {
+		t.Error("SetCache did not enable the cache")
+	}
+	doc.SetCache(0)
+	if _, ok := doc.CacheStats(); ok {
+		t.Error("SetCache(0) did not disable the cache")
+	}
+}
+
+func TestCacheHitZeroesMetrics(t *testing.T) {
+	doc, err := LoadString(articlesXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.SetCache(8)
+	q := MustParseQuery(paperQ1)
+	var m Metrics
+	if _, err := doc.Search(q, SearchOptions{K: 3, Metrics: &m}); err != nil {
+		t.Fatal(err)
+	}
+	if m.PlansRun == 0 {
+		t.Fatal("cold run reported no plans")
+	}
+	if _, err := doc.Search(q, SearchOptions{K: 3, Metrics: &m}); err != nil {
+		t.Fatal(err)
+	}
+	if m.PlansRun != 0 {
+		t.Errorf("cache hit reported work: %+v", m)
+	}
+}
+
+func TestCollectionCacheIdenticalAndPurgedOnAdd(t *testing.T) {
+	c := testCollection(t)
+	c.SetCache(16)
+	q := MustParseQuery(paperQ1)
+	cold, err := c.Search(q, SearchOptions{K: 3, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Search(q, SearchOptions{K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := c.Search(q, SearchOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderCollRanking(cold) != renderCollRanking(warm) {
+		t.Errorf("collection cache hit differs from cold run:\n%s\nvs\n%s",
+			renderCollRanking(cold), renderCollRanking(warm))
+	}
+	st, ok := c.CacheStats()
+	if !ok || st.Hits != 1 {
+		t.Errorf("collection cache stats = %+v ok=%v", st, ok)
+	}
+
+	// Adding a document purges merged rankings: the new corpus must be
+	// searched, not served from the stale entry.
+	extra, err := LoadString(articlesXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("extra.xml", extra); err != nil {
+		t.Fatal(err)
+	}
+	after, err := c.Search(q, SearchOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := false
+	for _, a := range after {
+		if a.DocName == "extra.xml" {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Errorf("stale cache served after Add: %s", renderCollRanking(after))
+	}
+}
+
+func TestCollectionDocumentCaches(t *testing.T) {
+	c := testCollection(t)
+	c.SetDocumentCaches(8)
+	q := MustParseQuery(paperQ1)
+	if _, err := c.Search(q, SearchOptions{K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Search(q, SearchOptions{K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := c.DocumentCacheStats()
+	if !ok || st.Hits == 0 {
+		t.Errorf("per-document caches unused: %+v ok=%v", st, ok)
+	}
+	c.SetDocumentCaches(0)
+	if _, ok := c.DocumentCacheStats(); ok {
+		t.Error("SetDocumentCaches(0) did not disable")
+	}
+}

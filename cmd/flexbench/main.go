@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +49,14 @@ type harness struct {
 	csv  bool
 	seed int64
 	docs map[int64]*flexpath.Document
+
+	// JSON capture: every figure's header row names the columns of the
+	// data rows that follow; with -json set, rows accumulate as records
+	// and are written out at exit.
+	jsonPath string
+	figName  string
+	cols     []string
+	records  []map[string]any
 }
 
 func (h *harness) doc(mb float64) *flexpath.Document {
@@ -117,6 +126,7 @@ func (h *harness) largeMB() float64 {
 }
 
 func (h *harness) row(cols ...interface{}) {
+	h.capture(cols)
 	if h.csv {
 		for i, c := range cols {
 			if i > 0 {
@@ -146,7 +156,69 @@ func (h *harness) row(cols ...interface{}) {
 
 func ms(d time.Duration) float64 { return float64(d) / 1e6 }
 
+// capture records a row for -json output. A row whose columns are all
+// strings is a header naming the columns; any other row is data zipped
+// against the current header.
+func (h *harness) capture(cols []interface{}) {
+	if h.jsonPath == "" {
+		return
+	}
+	allStrings := true
+	for _, c := range cols {
+		if _, ok := c.(string); !ok {
+			allStrings = false
+			break
+		}
+	}
+	if allStrings {
+		h.cols = make([]string, len(cols))
+		for i, c := range cols {
+			h.cols[i] = c.(string)
+		}
+		return
+	}
+	rec := map[string]any{"figure": h.figName}
+	for i, c := range cols {
+		name := "col" + strconv.Itoa(i)
+		if i < len(h.cols) {
+			name = h.cols[i]
+		}
+		if d, ok := c.(time.Duration); ok {
+			c = ms(d)
+		}
+		rec[name] = c
+	}
+	h.records = append(h.records, rec)
+}
+
+// writeJSON dumps the captured benchmark records.
+func (h *harness) writeJSON() {
+	if h.jsonPath == "" {
+		return
+	}
+	out := map[string]any{
+		"generated_unix": time.Now().Unix(),
+		"gomaxprocs":     runtime.GOMAXPROCS(0),
+		"go_version":     runtime.Version(),
+		"full":           h.full,
+		"runs":           h.runs,
+		"seed":           h.seed,
+		"records":        h.records,
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(h.jsonPath, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "flexbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", len(h.records), h.jsonPath)
+}
+
 func (h *harness) header(fig int, title string) {
+	h.figName = "fig" + strconv.Itoa(fig)
 	fmt.Printf("\n# Figure %d — %s\n", fig, title)
 }
 
@@ -329,32 +401,195 @@ func min(a, b int) int {
 	return b
 }
 
+// mustParse parses a workload query or dies.
+func mustParse(src string) *flexpath.Query {
+	q, err := flexpath.ParseQuery(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexbench:", err)
+		os.Exit(1)
+	}
+	return q
+}
+
+// median times fn h.runs times and returns the median.
+func (h *harness) median(fn func()) time.Duration {
+	times := make([]time.Duration, h.runs)
+	for i := range times {
+		runtime.GC()
+		start := time.Now()
+		fn()
+		times[i] = time.Since(start)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[len(times)/2]
+}
+
+// renderAnswers serializes a ranking for byte-identity comparison.
+func renderAnswers(answers []flexpath.CollectionAnswer) string {
+	out := ""
+	for i, a := range answers {
+		out += fmt.Sprintf("%d|%s|%s|%.9f|%.9f|%d\n",
+			i, a.DocName, a.Path, a.Structural, a.Keyword, a.Relaxations)
+	}
+	return out
+}
+
+func renderDocAnswers(answers []flexpath.Answer) string {
+	out := ""
+	for i, a := range answers {
+		out += fmt.Sprintf("%d|%s|%.9f|%.9f|%d\n",
+			i, a.Path, a.Structural, a.Keyword, a.Relaxations)
+	}
+	return out
+}
+
+// figCache is NOT a figure of the paper: it measures the serving-layer
+// query-result cache on the repeated-query workload. Cold times bypass
+// the cache (NoCache); warm times hit it. The cached ranking must be
+// byte-identical to a cold evaluation for every algorithm.
+func (h *harness) figCache() {
+	mb := 1.0
+	h.header(19, fmt.Sprintf("extra: repeated queries, cold vs warm result cache (doc=%gMB, XQ2, K=50)", mb))
+	h.figName = "cache"
+	d := h.doc(mb)
+	d.SetCache(256)
+	q := mustParse(xq2.query)
+	h.row("algo", "cold_ms", "warm_ms", "speedup", "identical")
+	for _, algo := range []flexpath.Algorithm{flexpath.Hybrid, flexpath.SSO, flexpath.DPO} {
+		opts := flexpath.SearchOptions{K: 50, Algorithm: algo}
+		cold := opts
+		cold.NoCache = true
+		coldAns, err := d.Search(q, cold) // also warms the chain cache
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flexbench:", err)
+			os.Exit(1)
+		}
+		coldT := h.median(func() {
+			if _, err := d.Search(q, cold); err != nil {
+				fmt.Fprintln(os.Stderr, "flexbench:", err)
+				os.Exit(1)
+			}
+		})
+		warmAns, err := d.Search(q, opts) // prime the cache (miss)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flexbench:", err)
+			os.Exit(1)
+		}
+		warmT := h.median(func() {
+			var err error
+			warmAns, err = d.Search(q, opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "flexbench:", err)
+				os.Exit(1)
+			}
+		})
+		identical := renderDocAnswers(coldAns) == renderDocAnswers(warmAns)
+		h.row(algo.String(), ms(coldT), ms(warmT), ms(coldT)/ms(warmT), identical)
+	}
+	if cs, ok := d.CacheStats(); ok {
+		fmt.Printf("(cache: %d hits, %d misses, %d entries)\n", cs.Hits, cs.Misses, cs.Entries)
+	}
+}
+
+// figParallel is NOT a figure of the paper: it measures parallel
+// Collection.Search against sequential evaluation of the same corpus.
+// The merged rankings must be byte-identical.
+func (h *harness) figParallel() {
+	const nDocs = 8
+	mb := 0.5
+	if h.full {
+		mb = 2
+	}
+	h.header(20, fmt.Sprintf("extra: collection search, sequential vs %d workers (%d docs x %gMB, XQ2, K=50)",
+		runtime.GOMAXPROCS(0), nDocs, mb))
+	h.figName = "parallel"
+	coll := flexpath.NewCollection()
+	for i := 0; i < nDocs; i++ {
+		fmt.Fprintf(os.Stderr, "building document %d/%d...\n", i+1, nDocs)
+		tree, err := xmark.Build(xmark.Config{
+			TargetBytes: int64(mb * float64(1<<20)), Seed: h.seed + int64(i),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flexbench:", err)
+			os.Exit(1)
+		}
+		if err := coll.Add(fmt.Sprintf("doc%02d.xml", i), flexpath.NewDocument(tree)); err != nil {
+			fmt.Fprintln(os.Stderr, "flexbench:", err)
+			os.Exit(1)
+		}
+	}
+	q := mustParse(xq2.query)
+	seqOpts := flexpath.SearchOptions{K: 50, Workers: 1, NoCache: true}
+	parOpts := flexpath.SearchOptions{K: 50, NoCache: true} // Workers: GOMAXPROCS
+	seqAns, err := coll.Search(q, seqOpts)                  // warm chains
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexbench:", err)
+		os.Exit(1)
+	}
+	parAns, err := coll.Search(q, parOpts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexbench:", err)
+		os.Exit(1)
+	}
+	seqT := h.median(func() {
+		var err error
+		seqAns, err = coll.Search(q, seqOpts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flexbench:", err)
+			os.Exit(1)
+		}
+	})
+	parT := h.median(func() {
+		var err error
+		parAns, err = coll.Search(q, parOpts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flexbench:", err)
+			os.Exit(1)
+		}
+	})
+	identical := renderAnswers(seqAns) == renderAnswers(parAns)
+	h.row("docs", "seq_ms", "par_ms", "speedup", "workers", "identical")
+	h.row(nDocs, ms(seqT), ms(parT), ms(seqT)/ms(parT), runtime.GOMAXPROCS(0), identical)
+}
+
 func main() {
-	fig := flag.String("fig", "all", "figure to run: 9..18 or all")
+	fig := flag.String("fig", "all", "figure to run: 9..18, cache, parallel, or all")
 	full := flag.Bool("full", false, "use the paper's document sizes (1-100 MB); slow")
 	runs := flag.Int("runs", 3, "timed runs per point (median reported)")
 	csv := flag.Bool("csv", false, "CSV output")
 	seed := flag.Int64("seed", 42, "data generator seed")
+	jsonOut := flag.String("json", "", "also write results as JSON to this file")
 	flag.Parse()
 
 	h := &harness{full: *full, runs: *runs, csv: *csv, seed: *seed,
-		docs: make(map[int64]*flexpath.Document)}
+		jsonPath: *jsonOut, docs: make(map[int64]*flexpath.Document)}
 
 	figs := map[int]func(){
 		9: h.fig9, 10: h.fig10, 11: h.fig11, 12: h.fig12,
 		13: h.fig13, 14: h.fig14, 15: h.fig15, 16: h.fig16,
 		17: h.fig17, 18: h.fig18,
 	}
-	if *fig == "all" {
+	named := map[string]func(){
+		"cache":    h.figCache,
+		"parallel": h.figParallel,
+	}
+	switch {
+	case *fig == "all":
 		for i := 9; i <= 18; i++ {
 			figs[i]()
 		}
-		return
+		h.figCache()
+		h.figParallel()
+	case named[*fig] != nil:
+		named[*fig]()
+	default:
+		n, err := strconv.Atoi(*fig)
+		if err != nil || figs[n] == nil {
+			fmt.Fprintf(os.Stderr,
+				"flexbench: unknown figure %q (want 9..18, cache, parallel, or all)\n", *fig)
+			os.Exit(2)
+		}
+		figs[n]()
 	}
-	n, err := strconv.Atoi(*fig)
-	if err != nil || figs[n] == nil {
-		fmt.Fprintf(os.Stderr, "flexbench: unknown figure %q (want 9..18 or all)\n", *fig)
-		os.Exit(2)
-	}
-	figs[n]()
+	h.writeJSON()
 }

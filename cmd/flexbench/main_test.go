@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"testing"
+	"time"
 
 	"flexpath"
 	"flexpath/internal/xmark"
@@ -48,6 +50,41 @@ func TestFigureRunners(t *testing.T) {
 	h.fig13()
 	h.fig17()
 	h.fig18()
+	h.figCache()
+}
+
+// TestJSONCapture checks the -json sidecar: rows are captured against the
+// most recent header and written with run metadata.
+func TestJSONCapture(t *testing.T) {
+	path := t.TempDir() + "/bench.json"
+	h := tinyHarness(t)
+	h.jsonPath = path
+	h.figName = "unit"
+	h.row("algo", "cold_ms", "speedup")
+	h.row("dpo", 12*time.Millisecond, 3.5)
+	h.writeJSON()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Runs    int                      `json:"runs"`
+		Records []map[string]interface{} `json:"records"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, raw)
+	}
+	if out.Runs != 1 || len(out.Records) != 1 {
+		t.Fatalf("json sidecar: %+v", out)
+	}
+	rec := out.Records[0]
+	if rec["figure"] != "unit" || rec["algo"] != "dpo" {
+		t.Errorf("record: %+v", rec)
+	}
+	if ms, ok := rec["cold_ms"].(float64); !ok || ms != 12 {
+		t.Errorf("duration not converted to ms: %v", rec["cold_ms"])
+	}
 }
 
 func TestHarnessSizes(t *testing.T) {

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strconv"
 	"time"
@@ -13,10 +15,16 @@ import (
 type handler struct {
 	coll *flexpath.Collection
 	mux  *http.ServeMux
+	// timeout bounds per-request search evaluation; 0 means no limit.
+	timeout time.Duration
 }
 
 func newHandler(coll *flexpath.Collection) http.Handler {
-	h := &handler{coll: coll, mux: http.NewServeMux()}
+	return newHandlerTimeout(coll, 0)
+}
+
+func newHandlerTimeout(coll *flexpath.Collection, timeout time.Duration) http.Handler {
+	h := &handler{coll: coll, mux: http.NewServeMux(), timeout: timeout}
 	h.mux.HandleFunc("/search", h.search)
 	h.mux.HandleFunc("/relaxations", h.relaxations)
 	h.mux.HandleFunc("/plan", h.plan)
@@ -56,8 +64,10 @@ func parseCommon(r *http.Request) (*flexpath.Query, flexpath.SearchOptions, erro
 	}
 	opts := flexpath.SearchOptions{K: 10}
 	if ks := r.URL.Query().Get("k"); ks != "" {
+		// Clamp K: an unbounded k lets one request materialize an
+		// arbitrarily large answer set.
 		k, err := strconv.Atoi(ks)
-		if err != nil || k <= 0 || k > 100000 {
+		if err != nil || k < 1 || k > maxK {
 			return nil, opts, errBadK
 		}
 		opts.K = k
@@ -79,9 +89,12 @@ func parseCommon(r *http.Request) (*flexpath.Query, flexpath.SearchOptions, erro
 	return q, opts, nil
 }
 
+// maxK bounds the k parameter of one request.
+const maxK = 1000
+
 var (
 	errMissingQuery = jsonError("missing q parameter")
-	errBadK         = jsonError("k must be a positive integer up to 100000")
+	errBadK         = jsonError("k must be an integer between 1 and 1000")
 )
 
 type jsonError string
@@ -119,10 +132,23 @@ func (h *handler) search(w http.ResponseWriter, r *http.Request) {
 			snippet = n
 		}
 	}
+	// The request context carries client disconnects; the configured
+	// timeout turns runaway evaluations into 504s instead of holding a
+	// worker goroutine for an unbounded join.
+	ctx := r.Context()
+	if h.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, h.timeout)
+		defer cancel()
+	}
 	start := time.Now()
-	answers, err := h.coll.Search(q, opts)
+	answers, err := h.coll.SearchContext(ctx, q, opts)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		}
+		writeJSON(w, status, errorBody{Error: err.Error()})
 		return
 	}
 	resp := searchResponse{
@@ -203,6 +229,10 @@ type statsResponse struct {
 	Documents int            `json:"documents"`
 	Elements  int            `json:"elements"`
 	PerDoc    map[string]int `json:"per_doc"`
+	// Cache reports the collection-level query-result cache; DocCache
+	// sums the per-document caches. Omitted when caching is disabled.
+	Cache    *flexpath.CacheStats `json:"cache,omitempty"`
+	DocCache *flexpath.CacheStats `json:"doc_cache,omitempty"`
 }
 
 func (h *handler) stats(w http.ResponseWriter, _ *http.Request) {
@@ -214,6 +244,12 @@ func (h *handler) stats(w http.ResponseWriter, _ *http.Request) {
 	for _, name := range h.docNames() {
 		doc, _ := h.coll.Document(name)
 		resp.PerDoc[name] = doc.Nodes()
+	}
+	if cs, ok := h.coll.CacheStats(); ok {
+		resp.Cache = &cs
+	}
+	if ds, ok := h.coll.DocumentCacheStats(); ok {
+		resp.DocCache = &ds
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

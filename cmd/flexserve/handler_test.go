@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"flexpath"
 )
@@ -81,6 +82,9 @@ func TestSearchEndpointErrors(t *testing.T) {
 		"/search",                                       // missing q
 		"/search?q=" + escape("((("),                    // bad query
 		"/search?q=" + escape("//book") + "&k=0",        // bad k
+		"/search?q=" + escape("//book") + "&k=1001",     // k above clamp
+		"/search?q=" + escape("//book") + "&k=abc",      // non-numeric k
+		"/search?q=" + escape("//book") + "&k=-3",       // negative k
 		"/search?q=" + escape("//book") + "&algo=bogus", // bad algo
 		"/search?q=" + escape("//book") + "&scheme=huh", // bad scheme
 		"/relaxations",                                  // missing q
@@ -90,6 +94,73 @@ func TestSearchEndpointErrors(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", path, resp.StatusCode)
 		}
+	}
+	// k at the clamp boundary is valid.
+	resp, body := get(t, srv.URL+"/search?q="+escape("//book")+"&k=1000")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("k=1000: status %d, want 200: %s", resp.StatusCode, body)
+	}
+}
+
+func TestStatsCacheCounters(t *testing.T) {
+	doc, err := flexpath.LoadString(serveXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := flexpath.NewCollection()
+	if err := coll.Add("lib.xml", doc); err != nil {
+		t.Fatal(err)
+	}
+	coll.SetCache(16)
+	coll.SetDocumentCaches(16)
+	srv := httptest.NewServer(newHandler(coll))
+	defer srv.Close()
+
+	url := srv.URL + "/search?q=" + escape(serveQuery) + "&k=5"
+	for i := 0; i < 2; i++ {
+		if resp, body := get(t, url); resp.StatusCode != http.StatusOK {
+			t.Fatalf("search %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, body := get(t, srv.URL+"/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if st.Cache == nil {
+		t.Fatalf("stats missing cache counters: %s", body)
+	}
+	if st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Errorf("cache counters = %+v, want 1 hit / 1 miss", *st.Cache)
+	}
+	if st.DocCache == nil {
+		t.Errorf("stats missing doc_cache counters: %s", body)
+	}
+}
+
+func TestSearchTimeoutReturns504(t *testing.T) {
+	// A 1ns budget expires before evaluation starts, so the handler's
+	// deadline branch is deterministic regardless of machine speed.
+	doc, err := flexpath.LoadString(serveXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := flexpath.NewCollection()
+	if err := coll.Add("lib.xml", doc); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandlerTimeout(coll, time.Nanosecond))
+	defer srv.Close()
+	resp, body := get(t, srv.URL+"/search?q="+escape(serveQuery)+"&k=5")
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("status %d, want 504: %s", resp.StatusCode, body)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+		t.Errorf("timeout body: %s", body)
 	}
 }
 

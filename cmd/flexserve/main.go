@@ -5,6 +5,7 @@
 //
 //	flexserve -addr :8080 data1.xml data2.xml
 //	flexserve -addr :8080 -dir corpus/
+//	flexserve -cache 4096 -timeout 10s data.xml
 //
 // Endpoints:
 //
@@ -31,6 +32,8 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dir := flag.String("dir", "", "load every .xml file in this directory")
+	cache := flag.Int("cache", 1024, "query-result cache capacity in entries (0 disables)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request search timeout (0 disables)")
 	flag.Parse()
 
 	coll := flexpath.NewCollection()
@@ -55,13 +58,22 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	log.Printf("serving %d documents (%d elements) on %s", coll.Len(), coll.Nodes(), *addr)
+	if *cache > 0 {
+		// The collection cache serves repeated identical requests; the
+		// per-document caches additionally let distinct collection
+		// requests share per-document work after membership changes.
+		coll.SetCache(*cache)
+		coll.SetDocumentCaches(*cache)
+	}
+	log.Printf("serving %d documents (%d elements) on %s (cache=%d, timeout=%v)",
+		coll.Len(), coll.Nodes(), *addr, *cache, *timeout)
 
 	srv := &http.Server{
-		Addr:         *addr,
-		Handler:      newHandler(coll),
-		ReadTimeout:  10 * time.Second,
-		WriteTimeout: 60 * time.Second,
+		Addr:              *addr,
+		Handler:           newHandlerTimeout(coll, *timeout),
+		ReadTimeout:       10 * time.Second,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      60 * time.Second,
 	}
 	log.Fatal(srv.ListenAndServe())
 }

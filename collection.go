@@ -1,9 +1,15 @@
 package flexpath
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
+
+	"flexpath/internal/qcache"
 )
 
 // Collection is a set of queryable documents searched as one corpus — the
@@ -13,23 +19,37 @@ import (
 // differently over differently-shaped documents); a collection search
 // merges the per-document rankings into one global top-K.
 type Collection struct {
-	names []string
-	docs  []*Document
+	names  []string
+	docs   []*Document
+	byName map[string]int
+
+	// qc, when set, caches merged collection-level result sets; see
+	// SetCache. Adding a document purges it.
+	qc atomic.Pointer[qcache.Cache]
 }
 
 // NewCollection returns an empty collection.
-func NewCollection() *Collection { return &Collection{} }
+func NewCollection() *Collection {
+	return &Collection{byName: make(map[string]int)}
+}
 
 // Add inserts a document under a name (typically its file name). Names
-// appear in CollectionAnswer and must be unique.
+// appear in CollectionAnswer and must be unique. Adding a document purges
+// the collection-level query cache: cached merged rankings no longer
+// cover the whole corpus.
 func (c *Collection) Add(name string, doc *Document) error {
-	for _, n := range c.names {
-		if n == name {
-			return fmt.Errorf("flexpath: duplicate document name %q", name)
-		}
+	if c.byName == nil {
+		c.byName = make(map[string]int)
 	}
+	if _, dup := c.byName[name]; dup {
+		return fmt.Errorf("flexpath: duplicate document name %q", name)
+	}
+	c.byName[name] = len(c.names)
 	c.names = append(c.names, name)
 	c.docs = append(c.docs, doc)
+	if qc := c.qc.Load(); qc != nil {
+		qc.Purge()
+	}
 	return nil
 }
 
@@ -61,12 +81,56 @@ func (c *Collection) Names() []string {
 
 // Document returns the named document, if present.
 func (c *Collection) Document(name string) (*Document, bool) {
-	for i, n := range c.names {
-		if n == name {
-			return c.docs[i], true
-		}
+	if i, ok := c.byName[name]; ok {
+		return c.docs[i], true
 	}
 	return nil, false
+}
+
+// SetCache enables a collection-level cache of merged top-K rankings
+// holding up to capacity result sets; capacity <= 0 disables it. Keys are
+// the same normalized search keys Document.SetCache uses. The cache is
+// purged whenever a document is added.
+func (c *Collection) SetCache(capacity int) {
+	if capacity <= 0 {
+		c.qc.Store(nil)
+		return
+	}
+	c.qc.Store(qcache.New(capacity))
+}
+
+// SetDocumentCaches enables (or, with capacity <= 0, disables) a
+// per-document result cache of the given capacity on every member
+// document. Per-document caches also serve direct Document.Search calls
+// and survive collection cache purges.
+func (c *Collection) SetDocumentCaches(capacity int) {
+	for _, d := range c.docs {
+		d.SetCache(capacity)
+	}
+}
+
+// CacheStats reports the collection-level cache counters; ok is false
+// when no collection cache is enabled.
+func (c *Collection) CacheStats() (s CacheStats, ok bool) {
+	qc := c.qc.Load()
+	if qc == nil {
+		return CacheStats{}, false
+	}
+	return cacheStatsFrom(qc.Stats()), true
+}
+
+// DocumentCacheStats sums the cache counters of every member document
+// that has a cache enabled; ok is false when none does.
+func (c *Collection) DocumentCacheStats() (s CacheStats, ok bool) {
+	var sum CacheStats
+	any := false
+	for _, d := range c.docs {
+		if ds, dok := d.CacheStats(); dok {
+			sum.add(ds)
+			any = true
+		}
+	}
+	return sum, any
 }
 
 // CollectionAnswer is an Answer tagged with the document it came from.
@@ -82,26 +146,92 @@ type CollectionAnswer struct {
 // query's predicate weights; penalties (and hence relaxed answers'
 // scores) reflect each document's own statistics, as the paper intends
 // ("this weight may be ... computed by analyzing the input document").
+//
+// Per-document evaluation fans out across a bounded worker pool
+// (SearchOptions.Workers, default GOMAXPROCS). The merged ranking is
+// deterministic regardless of worker count: per-document results are
+// collected by document index and merged with (score, document name,
+// node) tie-breaking.
 func (c *Collection) Search(q *Query, opts SearchOptions) ([]CollectionAnswer, error) {
+	return c.SearchContext(context.Background(), q, opts)
+}
+
+// SearchContext is Search with cancellation; see Document.SearchContext.
+func (c *Collection) SearchContext(ctx context.Context, q *Query, opts SearchOptions) ([]CollectionAnswer, error) {
 	if opts.K <= 0 {
 		opts.K = 10
 	}
-	var all []CollectionAnswer
-	for i, d := range c.docs {
-		// Each document needs its own metrics sink; accumulate.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	qc := c.qc.Load()
+	useCache := qc != nil && !opts.NoCache
+	var key string
+	if useCache {
+		key = searchCacheKey(q, opts)
+		if v, ok := qc.Get(key); ok {
+			if opts.Metrics != nil {
+				*opts.Metrics = Metrics{}
+			}
+			// Hand out a copy: callers may re-sort or truncate theirs.
+			return append([]CollectionAnswer(nil), v.([]CollectionAnswer)...), nil
+		}
+	}
+
+	perDoc := make([][]Answer, len(c.docs))
+	perErr := make([]error, len(c.docs))
+	perMet := make([]Metrics, len(c.docs))
+	runDoc := func(i int) {
 		sub := opts
-		var m Metrics
+		sub.Metrics = nil
 		if opts.Metrics != nil {
-			sub.Metrics = &m
+			sub.Metrics = &perMet[i]
 		}
-		answers, err := d.Search(q, sub)
-		if err != nil {
-			return nil, fmt.Errorf("flexpath: document %q: %w", c.names[i], err)
+		perDoc[i], perErr[i] = c.docs[i].SearchContext(ctx, q, sub)
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(c.docs) {
+		workers = len(c.docs)
+	}
+	if workers <= 1 {
+		for i := range c.docs {
+			runDoc(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(c.docs) {
+						return
+					}
+					runDoc(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Error reporting and metrics accumulation walk documents in
+	// insertion order, so the outcome is independent of worker timing.
+	var all []CollectionAnswer
+	for i := range c.docs {
+		if perErr[i] != nil {
+			return nil, fmt.Errorf("flexpath: document %q: %w", c.names[i], perErr[i])
 		}
 		if opts.Metrics != nil {
-			opts.Metrics.add(m)
+			opts.Metrics.add(perMet[i])
 		}
-		for _, a := range answers {
+		for _, a := range perDoc[i] {
 			all = append(all, CollectionAnswer{Answer: a, DocName: c.names[i]})
 		}
 	}
@@ -119,6 +249,12 @@ func (c *Collection) Search(q *Query, opts SearchOptions) ([]CollectionAnswer, e
 	})
 	if len(all) > opts.K {
 		all = all[:opts.K]
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if useCache {
+		qc.Put(key, append([]CollectionAnswer(nil), all...))
 	}
 	return all, nil
 }

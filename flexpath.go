@@ -28,16 +28,19 @@
 package flexpath
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"flexpath/internal/core"
 	"flexpath/internal/exec"
 	"flexpath/internal/ir"
+	"flexpath/internal/qcache"
 	"flexpath/internal/rank"
 	"flexpath/internal/stats"
 	"flexpath/internal/tpq"
@@ -220,6 +223,10 @@ type Document struct {
 
 	mu     sync.Mutex
 	chains map[string]*core.Chain
+
+	// qc, when set, caches finished top-K result sets keyed by the
+	// normalized query and search options; see SetCache.
+	qc atomic.Pointer[qcache.Cache]
 }
 
 // Load parses an XML document from r and builds its indexes.
@@ -432,6 +439,16 @@ type SearchOptions struct {
 	// Parallel fans join-plan execution out over this many goroutines;
 	// 0 or 1 runs sequentially. Results are identical either way.
 	Parallel int
+	// Workers bounds how many documents a Collection.Search evaluates
+	// concurrently: 0 uses GOMAXPROCS, 1 forces sequential evaluation.
+	// The merged ranking is identical at every setting (per-document
+	// results are combined in insertion order with deterministic
+	// tie-breaking). Document.Search ignores this field.
+	Workers int
+	// NoCache bypasses any query-result cache enabled with SetCache for
+	// this call: the search is evaluated from scratch and its result is
+	// not stored. Benchmarks measuring algorithm cost set this.
+	NoCache bool
 	// Hierarchy maps tags to their supertype (§3.4 of the paper). When
 	// set, a query node constrained to a tag also matches elements whose
 	// tag is any transitive subtype: querying //publication[...] with
@@ -446,17 +463,44 @@ type SearchOptions struct {
 // increasingly relaxed versions of the query, ranked by the selected
 // scheme.
 func (d *Document) Search(q *Query, opts SearchOptions) ([]Answer, error) {
+	return d.SearchContext(context.Background(), q, opts)
+}
+
+// SearchContext is Search with cancellation: the evaluation loops of all
+// algorithms (join pipelines, DPO's per-relaxation loop) poll ctx and
+// abandon the search once it is cancelled or times out, returning
+// ctx.Err(). Cancelled searches are never cached.
+func (d *Document) SearchContext(ctx context.Context, q *Query, opts SearchOptions) ([]Answer, error) {
 	if opts.K <= 0 {
 		opts.K = 10
 	}
 	if opts.Offset < 0 {
 		opts.Offset = 0
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	qc := d.qc.Load()
+	useCache := qc != nil && !opts.NoCache
+	var key string
+	if useCache {
+		key = searchCacheKey(q, opts)
+		if v, ok := qc.Get(key); ok {
+			// A hit performs no evaluation work, so the counters report
+			// zero; cache effectiveness is reported via CacheStats.
+			if opts.Metrics != nil {
+				*opts.Metrics = Metrics{}
+			}
+			return d.buildAnswers(q, v.([]topkResult), opts), nil
+		}
+	}
+
 	chain, err := d.chainH(q, opts.Weights, opts.Hierarchy)
 	if err != nil {
 		return nil, err
 	}
-	topts := topkOptions(opts)
+	topts := topkOptions(ctx, opts)
 	var results []topkResult
 	switch opts.Algorithm {
 	case DPO:
@@ -471,9 +515,24 @@ func (d *Document) Search(q *Query, opts SearchOptions) ([]Answer, error) {
 	default:
 		results = runHybrid(d, chain, topts)
 	}
+	// A cancelled run returns truncated results; surface the error
+	// instead of caching or reporting them.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if opts.Metrics != nil {
 		*opts.Metrics = topts.export()
 	}
+	if useCache {
+		qc.Put(key, results)
+	}
+	return d.buildAnswers(q, results, opts), nil
+}
+
+// buildAnswers converts internal results into public answers, applying
+// pagination. Cached result slices are never mutated: the offset is taken
+// by re-slicing and each call allocates fresh Answer values.
+func (d *Document) buildAnswers(q *Query, results []topkResult, opts SearchOptions) []Answer {
 	if opts.Offset > 0 {
 		if opts.Offset >= len(results) {
 			results = nil
@@ -504,7 +563,85 @@ func (d *Document) Search(q *Query, opts SearchOptions) ([]Answer, error) {
 			expr:        snippetExpr,
 		}
 	}
-	return answers, nil
+	return answers
+}
+
+// SetCache enables an in-memory query-result cache holding up to
+// capacity result sets; capacity <= 0 disables caching. The cache is
+// sharded and safe for concurrent searches. Keys cover everything that
+// determines a result set (normalized query, algorithm, scheme, K,
+// offset, weights, hierarchy), so differently-shaped requests never
+// collide; Parallel and Workers do not affect answers and are excluded.
+// Documents are immutable, so entries never go stale.
+func (d *Document) SetCache(capacity int) {
+	if capacity <= 0 {
+		d.qc.Store(nil)
+		return
+	}
+	d.qc.Store(qcache.New(capacity))
+}
+
+// CacheStats reports the document cache's hit/miss/eviction counters;
+// ok is false when no cache is enabled.
+func (d *Document) CacheStats() (s CacheStats, ok bool) {
+	qc := d.qc.Load()
+	if qc == nil {
+		return CacheStats{}, false
+	}
+	return cacheStatsFrom(qc.Stats()), true
+}
+
+// CacheStats is a snapshot of a query-result cache's counters.
+type CacheStats struct {
+	// Hits and Misses count Get outcomes; Evictions counts entries
+	// displaced by the LRU policy.
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	// Entries is the current size; Capacity the configured maximum.
+	Entries  int `json:"entries"`
+	Capacity int `json:"capacity"`
+}
+
+func cacheStatsFrom(s qcache.Stats) CacheStats {
+	return CacheStats{
+		Hits:      s.Hits,
+		Misses:    s.Misses,
+		Evictions: s.Evictions,
+		Entries:   s.Entries,
+		Capacity:  s.Capacity,
+	}
+}
+
+func (s *CacheStats) add(o CacheStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Entries += o.Entries
+	s.Capacity += o.Capacity
+}
+
+// searchCacheKey normalizes the aspects of a search that determine its
+// result set. The query is keyed by its canonical serialization, so
+// syntactic variants of the same pattern share an entry.
+func searchCacheKey(q *Query, opts SearchOptions) string {
+	rw := opts.Weights.rank()
+	return fmt.Sprintf("%s|%s|%s|k=%d|o=%d|w=%g,%g|h=%s",
+		q.q.Canon(), opts.Algorithm, opts.Scheme, opts.K, opts.Offset,
+		rw.Structural, rw.Contains, hierarchyKey(opts.Hierarchy))
+}
+
+// hierarchyKey canonicalizes a type-hierarchy map (order-independent).
+func hierarchyKey(hierarchy map[string]string) string {
+	if len(hierarchy) == 0 {
+		return ""
+	}
+	pairs := make([]string, 0, len(hierarchy))
+	for t, s := range hierarchy {
+		pairs = append(pairs, t+">"+s)
+	}
+	sort.Strings(pairs)
+	return strings.Join(pairs, ";")
 }
 
 // RelaxationStep describes one level of a query's relaxation chain.
@@ -556,7 +693,7 @@ func (d *Document) ExplainPlan(q *Query, opts SearchOptions) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	b := topkOptions(opts)
+	b := topkOptions(context.Background(), opts)
 	return explainPlan(d, chain, b)
 }
 
@@ -572,7 +709,7 @@ func (d *Document) AnalyzePlan(q *Query, opts SearchOptions) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	b := topkOptions(opts)
+	b := topkOptions(context.Background(), opts)
 	return analyzePlan(d, chain, b)
 }
 
@@ -582,18 +719,11 @@ func (d *Document) chain(q *Query, w Weights) (*core.Chain, error) {
 
 func (d *Document) chainH(q *Query, w Weights, hierarchy map[string]string) (*core.Chain, error) {
 	rw := w.rank()
-	hkey := ""
 	var h *tpq.Hierarchy
 	if len(hierarchy) > 0 {
-		pairs := make([]string, 0, len(hierarchy))
-		for t, s := range hierarchy {
-			pairs = append(pairs, t+">"+s)
-		}
-		sort.Strings(pairs)
-		hkey = strings.Join(pairs, ";")
 		h = tpq.NewHierarchy(hierarchy)
 	}
-	key := fmt.Sprintf("%s|%g|%g|%s", q.q.Canon(), rw.Structural, rw.Contains, hkey)
+	key := fmt.Sprintf("%s|%g|%g|%s", q.q.Canon(), rw.Structural, rw.Contains, hierarchyKey(hierarchy))
 	d.mu.Lock()
 	c, ok := d.chains[key]
 	d.mu.Unlock()

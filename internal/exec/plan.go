@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -148,6 +149,11 @@ type StepTrace struct {
 
 // Options controls plan execution.
 type Options struct {
+	// Ctx, when non-nil, is observed by the join loops: execution stops
+	// early (returning a truncated, possibly nil answer set) once the
+	// context is cancelled. Callers that pass a context must check its
+	// Err after Run to distinguish cancellation from an empty result.
+	Ctx context.Context
 	// K enables threshold pruning against the K-th best completable
 	// answer; 0 disables pruning.
 	K      int
@@ -197,6 +203,21 @@ func Run(p *Plan, opts Options) []Answer {
 	st := opts.Stats
 	if st == nil {
 		st = &PipelineStats{}
+	}
+
+	// Cancellation: a nil Done channel makes the select below a cheap
+	// no-op, so searches without a context pay (almost) nothing.
+	var done <-chan struct{}
+	if opts.Ctx != nil {
+		done = opts.Ctx.Done()
+	}
+	cancelled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
 	}
 
 	// Per-variable maximum future gains, for threshold pruning.
@@ -266,6 +287,9 @@ func Run(p *Plan, opts Options) []Answer {
 	// predicates (the evaluateLeaf of the paper's Hybrid pseudo-code).
 	leaves := make([][]xmltree.NodeID, nv)
 	for vi := range p.Vars {
+		if cancelled() {
+			return nil
+		}
 		leaves[vi] = evaluateLeaf(doc, &p.Vars[vi])
 	}
 
@@ -293,6 +317,12 @@ func Run(p *Plan, opts Options) []Answer {
 				return b
 			}
 			for ti := range chunk {
+				// Join loops can run millions of iterations; polling the
+				// context every 64 tuples bounds cancellation latency
+				// without measurable per-tuple cost.
+				if ti&63 == 0 && cancelled() {
+					return nil
+				}
 				t := &chunk[ti]
 				matched := false
 				var best tuple
@@ -351,6 +381,9 @@ func Run(p *Plan, opts Options) []Answer {
 			}
 		} else {
 			next = joinChunk(tuples)
+		}
+		if cancelled() {
+			return nil
 		}
 		st.TuplesGenerated += len(next)
 		tuples = next

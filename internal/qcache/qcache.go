@@ -1,0 +1,175 @@
+// Package qcache provides a sharded LRU cache for query results.
+//
+// The serving layer evaluates the same (query, algorithm, scheme, K)
+// combinations over and over — exactly the repeated-query workload that
+// compressed/indexed XPath engines treat as first-class. A cache entry
+// maps a normalized search key to the finished top-K result set; the
+// cache is sharded so concurrent request handlers contend on independent
+// locks, and each shard maintains its own LRU order. Hit, miss and
+// eviction counters are cheap atomics suitable for a /stats endpoint.
+package qcache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+	Capacity  int
+}
+
+// Cache is a sharded LRU cache mapping string keys to opaque values. The
+// zero value is not usable; construct with New. All methods are safe for
+// concurrent use.
+type Cache struct {
+	shards   []shard
+	capacity int
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type shard struct {
+	mu    sync.Mutex
+	items map[string]*list.Element
+	order *list.List // front = most recently used
+	cap   int
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+// defaultShards balances lock contention against per-shard LRU quality;
+// 16 shards keep a GOMAXPROCS-wide worker pool from serializing on one
+// mutex without fragmenting small caches.
+const defaultShards = 16
+
+// New returns a cache holding at most capacity entries in total. A
+// capacity below 1 is treated as 1. Shard count adapts so every shard
+// holds at least one entry.
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	shards := defaultShards
+	if capacity < shards {
+		shards = capacity
+	}
+	return newWithShards(capacity, shards)
+}
+
+func newWithShards(capacity, shards int) *Cache {
+	c := &Cache{shards: make([]shard, shards), capacity: capacity}
+	per := (capacity + shards - 1) / shards
+	for i := range c.shards {
+		c.shards[i] = shard{
+			items: make(map[string]*list.Element),
+			order: list.New(),
+			cap:   per,
+		}
+	}
+	return c
+}
+
+// fnv1a is the 32-bit FNV-1a hash, inlined to keep shard selection
+// allocation-free.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	return &c.shards[fnv1a(key)%uint32(len(c.shards))]
+}
+
+// Get returns the value cached under key, marking it most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
+	if ok {
+		s.order.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*entry).val, true
+}
+
+// Put stores val under key, evicting the shard's least recently used
+// entry when the shard is full. Storing an existing key refreshes its
+// value and recency.
+func (c *Cache) Put(key string, val any) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*entry).val = val
+		s.order.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	evicted := false
+	if s.order.Len() >= s.cap {
+		back := s.order.Back()
+		if back != nil {
+			delete(s.items, back.Value.(*entry).key)
+			s.order.Remove(back)
+			evicted = true
+		}
+	}
+	s.items[key] = s.order.PushFront(&entry{key: key, val: val})
+	s.mu.Unlock()
+	if evicted {
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the current number of cached entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Purge discards every entry. Counters are preserved.
+func (c *Cache) Purge() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.items = make(map[string]*list.Element)
+		s.order.Init()
+		s.mu.Unlock()
+	}
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+		Capacity:  c.capacity,
+	}
+}

@@ -1,0 +1,115 @@
+package qcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New(8)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", 1)
+	v, ok := c.Get("a")
+	if !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	c.Put("a", 2)
+	if v, _ := c.Get("a"); v.(int) != 2 {
+		t.Errorf("overwrite lost: %v", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Evictions != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// A single shard makes the global LRU order exact.
+	c := newWithShards(3, 1)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	c.Get("a") // refresh a: b is now least recently used
+	c.Put("d", 4)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s missing after eviction", k)
+		}
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len = %d, want 3", c.Len())
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	c := New(32)
+	for i := 0; i < 1000; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if n := c.Len(); n > 32 {
+		t.Errorf("Len = %d exceeds capacity 32", n)
+	}
+	if ev := c.Stats().Evictions; ev == 0 {
+		t.Error("no evictions recorded despite overflow")
+	}
+}
+
+func TestTinyCapacity(t *testing.T) {
+	c := New(0) // clamped to 1
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New(8)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Purge()
+	if c.Len() != 0 {
+		t.Errorf("Len after purge = %d", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Error("entry survived purge")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", i%100)
+				if v, ok := c.Get(key); ok {
+					if v.(int) != i%100 {
+						t.Errorf("key %s holds %v", key, v)
+						return
+					}
+				}
+				c.Put(key, i%100)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("expected both hits and misses: %+v", st)
+	}
+}

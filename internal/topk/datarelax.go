@@ -38,6 +38,9 @@ func DataRelax(chain *core.Chain, opts Options, maxPairs int) ([]Result, error) 
 	pairs := make(map[edgeKey]map[xmltree.NodeID][]xmltree.NodeID)
 	total := 0
 	for i := 1; i < len(q.Nodes); i++ {
+		if opts.cancelled() {
+			return nil, opts.Ctx.Err()
+		}
 		key := edgeKey{q.Nodes[i].Parent, i}
 		byAnc := make(map[xmltree.NodeID][]xmltree.NodeID)
 		childTag := q.Nodes[i].Tag
@@ -75,6 +78,9 @@ func DataRelax(chain *core.Chain, opts Options, maxPairs int) ([]Result, error) 
 	pen := chain.PenaltyOfPC
 	tuples := []pt{{bind: make([]xmltree.NodeID, len(q.Nodes)), ss: chain.Base}}
 	for i := range q.Nodes {
+		if opts.cancelled() {
+			return nil, opts.Ctx.Err()
+		}
 		var next []pt
 		for _, t := range tuples {
 			var cands []xmltree.NodeID

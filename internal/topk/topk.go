@@ -15,6 +15,7 @@
 package topk
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -68,6 +69,12 @@ type Metrics struct {
 type Options struct {
 	K      int
 	Scheme rank.Scheme
+	// Ctx, when non-nil, cancels the run: DPO checks it before each
+	// relaxation level, SSO/Hybrid before each plan (re-)execution, and
+	// the join pipeline polls it inside its loops. A cancelled run
+	// returns a truncated (possibly nil) result; callers must consult
+	// Ctx.Err to tell cancellation from a genuinely small answer set.
+	Ctx context.Context
 	// Parallel fans plan execution out over this many goroutines
 	// (<= 1 runs sequentially); results are unaffected.
 	Parallel int
@@ -80,6 +87,11 @@ func (o *Options) metrics() *Metrics {
 		o.Metrics = &Metrics{}
 	}
 	return o.Metrics
+}
+
+// cancelled reports whether the run's context has been cancelled.
+func (o *Options) cancelled() bool {
+	return o.Ctx != nil && o.Ctx.Err() != nil
 }
 
 // DPO runs the Dynamic Penalty Order algorithm (§5.1.1): evaluate the
@@ -116,6 +128,12 @@ func dpo(ev *exec.Evaluator, chain *core.Chain, opts Options, semijoin bool) []R
 	reachedAt := -1
 	m0 := chain.Original.NumContains()
 	for level := 0; level <= stopLevel; level++ {
+		// DPO's per-relaxation loop is the algorithm's dominant cost;
+		// observe cancellation between levels so a timed-out request
+		// stops re-evaluating ever larger relaxed queries.
+		if opts.cancelled() {
+			return nil
+		}
 		q := chain.QueryAt(level)
 		m.QueriesEvaluated++
 		m.RelaxationsEncoded = level
@@ -149,7 +167,7 @@ func dpo(ev *exec.Evaluator, chain *core.Chain, opts Options, semijoin bool) []R
 			for _, a := range exec.Run(plan, exec.Options{
 				Mode: exec.ModeExhaustive, Scheme: opts.Scheme,
 				Parallel: opts.Parallel, Stats: &m.Pipeline,
-				Exclude: seen,
+				Exclude: seen, Ctx: opts.Ctx,
 			}) {
 				if seen[a.Node] {
 					continue
@@ -227,6 +245,9 @@ func planBased(chain *core.Chain, est *stats.Estimator, opts Options, mode exec.
 	k := opts.K
 	j := choosePrefix(chain, est, opts, m)
 	for {
+		if opts.cancelled() {
+			return nil
+		}
 		plan, err := chain.PlanAt(j)
 		if err != nil {
 			return nil
@@ -239,7 +260,11 @@ func planBased(chain *core.Chain, est *stats.Estimator, opts Options, mode exec.
 			Mode:     mode,
 			Parallel: opts.Parallel,
 			Stats:    &m.Pipeline,
+			Ctx:      opts.Ctx,
 		})
+		if opts.cancelled() {
+			return nil
+		}
 		if len(answers) >= k || j >= chain.Len() {
 			return toResults(chain, answers, opts, k)
 		}

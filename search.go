@@ -1,6 +1,8 @@
 package flexpath
 
 import (
+	"context"
+
 	"flexpath/internal/core"
 	"flexpath/internal/exec"
 	"flexpath/internal/rank"
@@ -15,13 +17,19 @@ type bridgeOptions struct {
 	opts topk.Options
 }
 
-func topkOptions(o SearchOptions) *bridgeOptions {
+func topkOptions(ctx context.Context, o SearchOptions) *bridgeOptions {
 	// Pagination: the algorithms compute the top Offset+K answers; the
 	// public layer slices the window off afterwards.
+	if ctx == context.Background() {
+		// The algorithms treat a nil context as "never cancelled" and
+		// skip polling entirely.
+		ctx = nil
+	}
 	return &bridgeOptions{opts: topk.Options{
 		K:        o.K + o.Offset,
 		Scheme:   o.Scheme.rank(),
 		Parallel: o.Parallel,
+		Ctx:      ctx,
 		Metrics:  &topk.Metrics{},
 	}}
 }
