@@ -76,6 +76,55 @@ func TestCachedAnswersIdenticalToCold(t *testing.T) {
 	}
 }
 
+// TestCacheHitNotPoisonedByCallerMutation is the regression test for
+// the cache aliasing bug: cached results were handed to callers without
+// copying the Relaxed explanation slices, so a caller mutating its
+// answers silently rewrote the cache entry for every later hit.
+func TestCacheHitNotPoisonedByCallerMutation(t *testing.T) {
+	doc, err := LoadString(articlesXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.SetCache(16)
+	q := MustParseQuery(paperQ1)
+	opts := SearchOptions{K: 5, Algorithm: Hybrid}
+	first, err := doc.Search(q, opts) // miss, populates the cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderRanking(first)
+	relaxed := false
+	for i := range first {
+		for j := range first[i].Relaxed {
+			first[i].Relaxed[j] = "CLOBBERED"
+			relaxed = true
+		}
+	}
+	if !relaxed {
+		t.Fatal("workload produced no relaxed answers; test exercises nothing")
+	}
+	second, err := doc.Search(q, opts) // hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderRanking(second); got != want {
+		t.Errorf("mutating a miss's answers poisoned the cache\nwant:\n%sgot:\n%s", want, got)
+	}
+	// Mutating a hit's answers must not poison later hits either.
+	for i := range second {
+		for j := range second[i].Relaxed {
+			second[i].Relaxed[j] = "CLOBBERED"
+		}
+	}
+	third, err := doc.Search(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderRanking(third); got != want {
+		t.Errorf("mutating a hit's answers poisoned the cache\nwant:\n%sgot:\n%s", want, got)
+	}
+}
+
 func TestCacheKeySeparatesOptions(t *testing.T) {
 	doc, err := LoadString(articlesXML)
 	if err != nil {
@@ -248,6 +297,51 @@ func TestCollectionCacheIdenticalAndPurgedOnAdd(t *testing.T) {
 	}
 	if !seen {
 		t.Errorf("stale cache served after Add: %s", renderCollRanking(after))
+	}
+}
+
+// TestCollectionCacheHitNotPoisonedByCallerMutation is the
+// collection-level half of the cache aliasing regression: merged
+// CollectionAnswer slices were cached and returned shallowly, so a
+// caller rewriting Relaxed explanations corrupted every later hit.
+func TestCollectionCacheHitNotPoisonedByCallerMutation(t *testing.T) {
+	c := testCollection(t)
+	c.SetCache(16)
+	q := MustParseQuery(paperQ1)
+	opts := SearchOptions{K: 3}
+	first, err := c.Search(q, opts) // miss, populates
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderCollRanking(first)
+	relaxed := false
+	for i := range first {
+		for j := range first[i].Relaxed {
+			first[i].Relaxed[j] = "CLOBBERED"
+			relaxed = true
+		}
+	}
+	if !relaxed {
+		t.Fatal("workload produced no relaxed answers; test exercises nothing")
+	}
+	second, err := c.Search(q, opts) // hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderCollRanking(second); got != want {
+		t.Errorf("mutating a miss's answers poisoned the collection cache\nwant:\n%sgot:\n%s", want, got)
+	}
+	for i := range second {
+		for j := range second[i].Relaxed {
+			second[i].Relaxed[j] = "CLOBBERED"
+		}
+	}
+	third, err := c.Search(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderCollRanking(third); got != want {
+		t.Errorf("mutating a hit's answers poisoned the collection cache\nwant:\n%sgot:\n%s", want, got)
 	}
 }
 

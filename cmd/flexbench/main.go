@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 
 	"flexpath"
 	"flexpath/internal/inex"
+	"flexpath/internal/obs"
 	"flexpath/internal/xmark"
 )
 
@@ -552,8 +554,54 @@ func (h *harness) figParallel() {
 	h.row(nDocs, ms(seqT), ms(parT), ms(seqT)/ms(parT), runtime.GOMAXPROCS(0), identical)
 }
 
+// figObs is NOT a figure of the paper: it measures the cost of the
+// observability layer by running the same searches bare and with an
+// active span recording per-stage latency into a registry. Each timed
+// sample batches several searches so the clock resolution and scheduler
+// noise don't swamp the per-query delta; the acceptance bar for the
+// serving layer is overhead below 5%.
+func (h *harness) figObs() {
+	mb := 1.0
+	const batch = 20
+	h.header(21, fmt.Sprintf("extra: observability overhead (doc=%gMB, XQ2, K=50, %d searches/sample)", mb, batch))
+	h.figName = "obs"
+	d := h.doc(mb)
+	q := mustParse(xq2.query)
+	reg := obs.NewRegistry(128, 0)
+	h.row("algo", "bare_ms", "instr_ms", "overhead_pct")
+	for _, algo := range []flexpath.Algorithm{flexpath.Hybrid, flexpath.SSO, flexpath.DPO} {
+		opts := flexpath.SearchOptions{K: 50, Algorithm: algo, NoCache: true}
+		if _, err := d.Search(q, opts); err != nil { // warm the chain cache
+			fmt.Fprintln(os.Stderr, "flexbench:", err)
+			os.Exit(1)
+		}
+		bare := h.median(func() {
+			for i := 0; i < batch; i++ {
+				if _, err := d.SearchContext(context.Background(), q, opts); err != nil {
+					fmt.Fprintln(os.Stderr, "flexbench:", err)
+					os.Exit(1)
+				}
+			}
+		})
+		instr := h.median(func() {
+			for i := 0; i < batch; i++ {
+				span := reg.StartSpan(xq2.query, algo.String(), "structure-first", 50)
+				ctx := obs.WithSpan(context.Background(), span)
+				_, err := d.SearchContext(ctx, q, opts)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "flexbench:", err)
+					os.Exit(1)
+				}
+				span.Finish("ok")
+			}
+		})
+		h.row(algo.String(), ms(bare)/batch, ms(instr)/batch,
+			100*(float64(instr)-float64(bare))/float64(bare))
+	}
+}
+
 func main() {
-	fig := flag.String("fig", "all", "figure to run: 9..18, cache, parallel, or all")
+	fig := flag.String("fig", "all", "figure to run: 9..18, cache, parallel, obs, or all")
 	full := flag.Bool("full", false, "use the paper's document sizes (1-100 MB); slow")
 	runs := flag.Int("runs", 3, "timed runs per point (median reported)")
 	csv := flag.Bool("csv", false, "CSV output")
@@ -572,6 +620,7 @@ func main() {
 	named := map[string]func(){
 		"cache":    h.figCache,
 		"parallel": h.figParallel,
+		"obs":      h.figObs,
 	}
 	switch {
 	case *fig == "all":
@@ -580,13 +629,14 @@ func main() {
 		}
 		h.figCache()
 		h.figParallel()
+		h.figObs()
 	case named[*fig] != nil:
 		named[*fig]()
 	default:
 		n, err := strconv.Atoi(*fig)
 		if err != nil || figs[n] == nil {
 			fmt.Fprintf(os.Stderr,
-				"flexbench: unknown figure %q (want 9..18, cache, parallel, or all)\n", *fig)
+				"flexbench: unknown figure %q (want 9..18, cache, parallel, obs, or all)\n", *fig)
 			os.Exit(2)
 		}
 		figs[n]()

@@ -4,11 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
 	"flexpath"
+	"flexpath/internal/obs"
 )
 
 // handler serves the JSON API over a collection.
@@ -17,6 +20,19 @@ type handler struct {
 	mux  *http.ServeMux
 	// timeout bounds per-request search evaluation; 0 means no limit.
 	timeout time.Duration
+	// reg aggregates per-query observability (never nil).
+	reg *obs.Registry
+}
+
+// handlerConfig configures optional serving features.
+type handlerConfig struct {
+	timeout time.Duration
+	// slowCap and slowThreshold shape the slow-query log; zero values
+	// pick the obs defaults (128 entries, log everything).
+	slowCap       int
+	slowThreshold time.Duration
+	// pprof exposes net/http/pprof under /debug/pprof/.
+	pprof bool
 }
 
 func newHandler(coll *flexpath.Collection) http.Handler {
@@ -24,16 +40,37 @@ func newHandler(coll *flexpath.Collection) http.Handler {
 }
 
 func newHandlerTimeout(coll *flexpath.Collection, timeout time.Duration) http.Handler {
-	h := &handler{coll: coll, mux: http.NewServeMux(), timeout: timeout}
+	h, _ := newHandlerConfig(coll, handlerConfig{timeout: timeout})
+	return h
+}
+
+// newHandlerConfig builds the full serving handler and returns the
+// registry so the caller (main, tests) can inspect it.
+func newHandlerConfig(coll *flexpath.Collection, cfg handlerConfig) (http.Handler, *obs.Registry) {
+	h := &handler{
+		coll:    coll,
+		mux:     http.NewServeMux(),
+		timeout: cfg.timeout,
+		reg:     obs.NewRegistry(cfg.slowCap, cfg.slowThreshold),
+	}
 	h.mux.HandleFunc("/search", h.search)
 	h.mux.HandleFunc("/relaxations", h.relaxations)
 	h.mux.HandleFunc("/plan", h.plan)
 	h.mux.HandleFunc("/stats", h.stats)
+	h.mux.HandleFunc("/metrics", h.metrics)
+	h.mux.HandleFunc("/slowlog", h.slowlog)
 	h.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		w.Write([]byte("ok\n")) //nolint:errcheck
 	})
-	return h.mux
+	if cfg.pprof {
+		h.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		h.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		h.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		h.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		h.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return h.mux, h.reg
 }
 
 type errorBody struct {
@@ -50,6 +87,29 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 
 func badRequest(w http.ResponseWriter, msg string) {
 	writeJSON(w, http.StatusBadRequest, errorBody{Error: msg})
+}
+
+// requestContext applies the configured per-request evaluation timeout.
+func (h *handler) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	if h.timeout > 0 {
+		return context.WithTimeout(ctx, h.timeout)
+	}
+	return ctx, func() {}
+}
+
+// searchStatus maps a search error to (HTTP status, span status).
+func searchStatus(err error) (int, string) {
+	switch {
+	case err == nil:
+		return http.StatusOK, "ok"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "timeout"
+	case errors.Is(err, context.Canceled):
+		return http.StatusInternalServerError, "canceled"
+	default:
+		return http.StatusInternalServerError, "error"
+	}
 }
 
 // parseCommon extracts query, K, algorithm and scheme parameters.
@@ -120,7 +180,9 @@ type searchResponse struct {
 }
 
 func (h *handler) search(w http.ResponseWriter, r *http.Request) {
+	tParse := time.Now()
 	q, opts, err := parseCommon(r)
+	parseDur := time.Since(tParse)
 	if err != nil {
 		badRequest(w, err.Error())
 		return
@@ -134,20 +196,19 @@ func (h *handler) search(w http.ResponseWriter, r *http.Request) {
 	}
 	// The request context carries client disconnects; the configured
 	// timeout turns runaway evaluations into 504s instead of holding a
-	// worker goroutine for an unbounded join.
-	ctx := r.Context()
-	if h.timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, h.timeout)
-		defer cancel()
-	}
+	// worker goroutine for an unbounded join. The span rides the same
+	// context so the library layers record per-stage latency into it.
+	ctx, cancel := h.requestContext(r)
+	defer cancel()
+	span := h.reg.StartSpan(q.String(), opts.Algorithm.String(), opts.Scheme.String(), opts.K)
+	span.Rec(obs.StageParse, parseDur)
+	ctx = obs.WithSpan(ctx, span)
+
 	start := time.Now()
 	answers, err := h.coll.SearchContext(ctx, q, opts)
+	status, spanStatus := searchStatus(err)
+	span.Finish(spanStatus)
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, context.DeadlineExceeded) {
-			status = http.StatusGatewayTimeout
-		}
 		writeJSON(w, status, errorBody{Error: err.Error()})
 		return
 	}
@@ -186,12 +247,18 @@ func (h *handler) relaxations(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err.Error())
 		return
 	}
+	// Honor the request context and the configured timeout like
+	// /search: chain building over a pathological document must not
+	// hold this worker past the deadline.
+	ctx, cancel := h.requestContext(r)
+	defer cancel()
 	resp := relaxationsResponse{Query: q.String()}
 	for _, name := range h.docNames() {
 		doc, _ := h.coll.Document(name)
-		steps, err := doc.Relaxations(q)
+		steps, err := doc.RelaxationsContext(ctx, q)
 		if err != nil {
-			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+			status, _ := searchStatus(err)
+			writeJSON(w, status, errorBody{Error: err.Error()})
 			return
 		}
 		resp.Docs = append(resp.Docs, struct {
@@ -208,6 +275,8 @@ func (h *handler) plan(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err.Error())
 		return
 	}
+	ctx, cancel := h.requestContext(r)
+	defer cancel()
 	type planDoc struct {
 		Doc  string `json:"doc"`
 		Plan string `json:"plan"`
@@ -215,9 +284,10 @@ func (h *handler) plan(w http.ResponseWriter, r *http.Request) {
 	var out []planDoc
 	for _, name := range h.docNames() {
 		doc, _ := h.coll.Document(name)
-		p, err := doc.ExplainPlan(q, opts)
+		p, err := doc.ExplainPlanContext(ctx, q, opts)
 		if err != nil {
-			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+			status, _ := searchStatus(err)
+			writeJSON(w, status, errorBody{Error: err.Error()})
 			return
 		}
 		out = append(out, planDoc{Doc: name, Plan: p})
@@ -250,6 +320,139 @@ func (h *handler) stats(w http.ResponseWriter, _ *http.Request) {
 	}
 	if ds, ok := h.coll.DocumentCacheStats(); ok {
 		resp.DocCache = &ds
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// metrics serves the Prometheus text exposition: the registry's query
+// counters, latency histograms, stage histograms and in-flight gauge,
+// followed by cache counter families assembled from the collection.
+func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", obs.PromContentType)
+	h.reg.WritePrometheus(w)
+
+	type cacheRow struct {
+		name string
+		cs   flexpath.CacheStats
+		ok   bool
+	}
+	rows := []cacheRow{}
+	if cs, ok := h.coll.CacheStats(); ok {
+		rows = append(rows, cacheRow{"collection", cs, true})
+	}
+	if ds, ok := h.coll.DocumentCacheStats(); ok {
+		rows = append(rows, cacheRow{"document", ds, true})
+	}
+	fmt.Fprintln(w, "# HELP flexpath_cache_hits_total Query-result cache hits.")
+	fmt.Fprintln(w, "# TYPE flexpath_cache_hits_total counter")
+	for _, row := range rows {
+		fmt.Fprintf(w, "flexpath_cache_hits_total{cache=%q} %d\n", row.name, row.cs.Hits)
+	}
+	fmt.Fprintln(w, "# HELP flexpath_cache_misses_total Query-result cache misses.")
+	fmt.Fprintln(w, "# TYPE flexpath_cache_misses_total counter")
+	for _, row := range rows {
+		fmt.Fprintf(w, "flexpath_cache_misses_total{cache=%q} %d\n", row.name, row.cs.Misses)
+	}
+	fmt.Fprintln(w, "# HELP flexpath_cache_evictions_total Query-result cache LRU evictions.")
+	fmt.Fprintln(w, "# TYPE flexpath_cache_evictions_total counter")
+	for _, row := range rows {
+		fmt.Fprintf(w, "flexpath_cache_evictions_total{cache=%q} %d\n", row.name, row.cs.Evictions)
+	}
+	fmt.Fprintln(w, "# HELP flexpath_cache_entries Current query-result cache entries.")
+	fmt.Fprintln(w, "# TYPE flexpath_cache_entries gauge")
+	for _, row := range rows {
+		fmt.Fprintf(w, "flexpath_cache_entries{cache=%q} %d\n", row.name, row.cs.Entries)
+	}
+	fmt.Fprintln(w, "# HELP flexpath_cache_capacity Effective query-result cache capacity.")
+	fmt.Fprintln(w, "# TYPE flexpath_cache_capacity gauge")
+	for _, row := range rows {
+		fmt.Fprintf(w, "flexpath_cache_capacity{cache=%q} %d\n", row.name, row.cs.Capacity)
+	}
+
+	fmt.Fprintln(w, "# HELP flexpath_documents Documents being served.")
+	fmt.Fprintln(w, "# TYPE flexpath_documents gauge")
+	fmt.Fprintf(w, "flexpath_documents %d\n", h.coll.Len())
+	fmt.Fprintln(w, "# HELP flexpath_elements Total indexed element nodes.")
+	fmt.Fprintln(w, "# TYPE flexpath_elements gauge")
+	fmt.Fprintf(w, "flexpath_elements %d\n", h.coll.Nodes())
+}
+
+type slowEntryJSON struct {
+	Time        string             `json:"time"`
+	Query       string             `json:"query"`
+	Algo        string             `json:"algo"`
+	Scheme      string             `json:"scheme"`
+	Status      string             `json:"status"`
+	K           int                `json:"k"`
+	Relaxations int                `json:"relaxations"`
+	CacheHit    bool               `json:"cache_hit"`
+	TotalMS     float64            `json:"total_ms"`
+	StagesMS    map[string]float64 `json:"stages_ms"`
+}
+
+type latencySummaryJSON struct {
+	Algo    string  `json:"algo"`
+	Count   uint64  `json:"count"`
+	P50MS   float64 `json:"p50_ms"`
+	P95MS   float64 `json:"p95_ms"`
+	P99MS   float64 `json:"p99_ms"`
+	MeanMS  float64 `json:"mean_ms"`
+	TotalMS float64 `json:"total_ms"`
+}
+
+type slowlogResponse struct {
+	ThresholdMS float64              `json:"threshold_ms"`
+	Entries     []slowEntryJSON      `json:"entries"`
+	Latency     []latencySummaryJSON `json:"latency"`
+}
+
+// slowlog serves the N slowest recent queries with their per-stage time
+// breakdown, plus per-algorithm latency quantiles (p50/p95/p99 are
+// bucket upper bounds, exact within a factor of two).
+func (h *handler) slowlog(w http.ResponseWriter, r *http.Request) {
+	n := 32
+	if ns := r.URL.Query().Get("n"); ns != "" {
+		if v, err := strconv.Atoi(ns); err == nil && v > 0 && v <= 1024 {
+			n = v
+		}
+	}
+	log := h.reg.SlowLog()
+	resp := slowlogResponse{
+		ThresholdMS: float64(log.Threshold()) / 1e6,
+		Entries:     []slowEntryJSON{},
+		Latency:     []latencySummaryJSON{},
+	}
+	stageNames := obs.StageNames()
+	for _, e := range log.Top(n) {
+		stages := make(map[string]float64, len(stageNames))
+		for i, name := range stageNames {
+			stages[name] = float64(e.Stages[i]) / 1e6
+		}
+		resp.Entries = append(resp.Entries, slowEntryJSON{
+			Time:        e.Time.UTC().Format(time.RFC3339Nano),
+			Query:       e.Query,
+			Algo:        e.Algo,
+			Scheme:      e.Scheme,
+			Status:      e.Status,
+			K:           e.K,
+			Relaxations: e.Relaxations,
+			CacheHit:    e.CacheHit,
+			TotalMS:     float64(e.Total) / 1e6,
+			StagesMS:    stages,
+		})
+	}
+	algos, hists := h.reg.LatencyByAlgo()
+	for i, algo := range algos {
+		s := hists[i]
+		resp.Latency = append(resp.Latency, latencySummaryJSON{
+			Algo:    algo,
+			Count:   s.Count,
+			P50MS:   float64(s.Quantile(0.50)) / 1e6,
+			P95MS:   float64(s.Quantile(0.95)) / 1e6,
+			P99MS:   float64(s.Quantile(0.99)) / 1e6,
+			MeanMS:  float64(s.Mean()) / 1e6,
+			TotalMS: float64(s.Sum) / 1e6,
+		})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

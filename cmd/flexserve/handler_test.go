@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"flexpath"
+	"flexpath/internal/obs"
 )
 
 const serveXML = `<lib>
@@ -164,6 +165,32 @@ func TestSearchTimeoutReturns504(t *testing.T) {
 	}
 }
 
+func TestRelaxationsAndPlanTimeoutReturns504(t *testing.T) {
+	// Regression: /relaxations and /plan used to ignore both the
+	// request context and -timeout, holding a worker goroutine for as
+	// long as a pathological document's chain build took.
+	doc, err := flexpath.LoadString(serveXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := flexpath.NewCollection()
+	if err := coll.Add("lib.xml", doc); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandlerTimeout(coll, time.Nanosecond))
+	defer srv.Close()
+	for _, path := range []string{"/relaxations", "/plan"} {
+		resp, body := get(t, srv.URL+path+"?q="+escape(serveQuery))
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Errorf("%s: status %d, want 504: %s", path, resp.StatusCode, body)
+		}
+		var eb errorBody
+		if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+			t.Errorf("%s timeout body: %s", path, body)
+		}
+	}
+}
+
 func TestRelaxationsEndpoint(t *testing.T) {
 	srv := testServer(t)
 	resp, body := get(t, srv.URL+"/relaxations?q="+escape(serveQuery))
@@ -199,6 +226,111 @@ func TestPlanAndStatsEndpoints(t *testing.T) {
 	resp, _ = get(t, srv.URL+"/healthz")
 	if resp.StatusCode != http.StatusOK {
 		t.Error("healthz failed")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	doc, err := flexpath.LoadString(serveXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := flexpath.NewCollection()
+	if err := coll.Add("lib.xml", doc); err != nil {
+		t.Fatal(err)
+	}
+	coll.SetCache(16)
+	coll.SetDocumentCaches(16)
+	srv := httptest.NewServer(newHandler(coll))
+	defer srv.Close()
+
+	// Two identical searches: one miss, one collection-cache hit.
+	url := srv.URL + "/search?q=" + escape(serveQuery) + "&k=5"
+	for i := 0; i < 2; i++ {
+		if resp, body := get(t, url); resp.StatusCode != http.StatusOK {
+			t.Fatalf("search %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, body := get(t, srv.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Errorf("content type %q, want %q", ct, obs.PromContentType)
+	}
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, body)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`flexpath_queries_total{algo="Hybrid",scheme="structure-first",status="ok"} 2`,
+		"flexpath_inflight_queries 0",
+		`flexpath_query_duration_seconds_count{algo="Hybrid"} 2`,
+		"flexpath_stage_duration_seconds_bucket",
+		`flexpath_cache_hits_total{cache="collection"} 1`,
+		`flexpath_cache_misses_total{cache="collection"} 1`,
+		"flexpath_documents 1",
+		"flexpath_elements",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestSlowlogEndpoint(t *testing.T) {
+	srv := testServer(t)
+	if resp, body := get(t, srv.URL+"/search?q="+escape(serveQuery)+"&k=5"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("search: status %d: %s", resp.StatusCode, body)
+	}
+	resp, body := get(t, srv.URL+"/slowlog?n=10")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("slowlog status %d", resp.StatusCode)
+	}
+	var out slowlogResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if len(out.Entries) != 1 {
+		t.Fatalf("entries = %d, want 1: %s", len(out.Entries), body)
+	}
+	e := out.Entries[0]
+	if e.Query == "" || e.Algo != "Hybrid" || e.Status != "ok" || e.K != 5 {
+		t.Errorf("slowlog entry: %+v", e)
+	}
+	if e.TotalMS <= 0 {
+		t.Errorf("total_ms = %v, want > 0", e.TotalMS)
+	}
+	for _, stage := range obs.StageNames() {
+		if _, ok := e.StagesMS[stage]; !ok {
+			t.Errorf("stages_ms missing %q: %+v", stage, e.StagesMS)
+		}
+	}
+	if len(out.Latency) != 1 || out.Latency[0].Count != 1 || out.Latency[0].P50MS <= 0 {
+		t.Errorf("latency summary: %+v", out.Latency)
+	}
+}
+
+func TestPprofGating(t *testing.T) {
+	doc, err := flexpath.LoadString(serveXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := flexpath.NewCollection()
+	if err := coll.Add("lib.xml", doc); err != nil {
+		t.Fatal(err)
+	}
+	off, _ := newHandlerConfig(coll, handlerConfig{})
+	on, _ := newHandlerConfig(coll, handlerConfig{pprof: true})
+	srvOff := httptest.NewServer(off)
+	defer srvOff.Close()
+	srvOn := httptest.NewServer(on)
+	defer srvOn.Close()
+
+	if resp, _ := get(t, srvOff.URL+"/debug/pprof/"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof off: status %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get(t, srvOn.URL+"/debug/pprof/"); resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof on: status %d, want 200", resp.StatusCode)
 	}
 }
 

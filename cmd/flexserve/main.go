@@ -1,11 +1,12 @@
 // Command flexserve serves flexible top-K search over one or more XML
-// documents as a JSON HTTP API.
+// documents as a JSON HTTP API, with Prometheus-style observability.
 //
 // Usage:
 //
 //	flexserve -addr :8080 data1.xml data2.xml
 //	flexserve -addr :8080 -dir corpus/
-//	flexserve -cache 4096 -timeout 10s data.xml
+//	flexserve -cache 4096 -timeout 10s -slowlog 256 -slowms 100 data.xml
+//	flexserve -pprof data.xml   # also expose /debug/pprof/
 //
 // Endpoints:
 //
@@ -13,6 +14,10 @@
 //	GET /relaxations?q=QUERY
 //	GET /plan?q=QUERY&k=10
 //	GET /stats
+//	GET /metrics       Prometheus text format: query counters by
+//	                   algorithm/scheme/status, latency and per-stage
+//	                   histograms, cache counters, in-flight gauge
+//	GET /slowlog?n=32  slowest recent queries with per-stage timings
 //	GET /healthz
 //
 // Documents may be XML files or binary snapshots (detected by magic).
@@ -34,6 +39,9 @@ func main() {
 	dir := flag.String("dir", "", "load every .xml file in this directory")
 	cache := flag.Int("cache", 1024, "query-result cache capacity in entries (0 disables)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request search timeout (0 disables)")
+	slowCap := flag.Int("slowlog", 128, "slow-query log capacity in entries")
+	slowMS := flag.Int("slowms", 0, "only log queries at least this many milliseconds long (0 logs all)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	coll := flexpath.NewCollection()
@@ -65,12 +73,18 @@ func main() {
 		coll.SetCache(*cache)
 		coll.SetDocumentCaches(*cache)
 	}
-	log.Printf("serving %d documents (%d elements) on %s (cache=%d, timeout=%v)",
-		coll.Len(), coll.Nodes(), *addr, *cache, *timeout)
+	h, _ := newHandlerConfig(coll, handlerConfig{
+		timeout:       *timeout,
+		slowCap:       *slowCap,
+		slowThreshold: time.Duration(*slowMS) * time.Millisecond,
+		pprof:         *pprofOn,
+	})
+	log.Printf("serving %d documents (%d elements) on %s (cache=%d, timeout=%v, slowlog=%d@%dms, pprof=%v)",
+		coll.Len(), coll.Nodes(), *addr, *cache, *timeout, *slowCap, *slowMS, *pprofOn)
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newHandlerTimeout(coll, *timeout),
+		Handler:           h,
 		ReadTimeout:       10 * time.Second,
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      60 * time.Second,

@@ -1,0 +1,45 @@
+// Command promcheck validates Prometheus text exposition format 0.0.4
+// read from stdin or from a file argument, exiting nonzero on the first
+// violation. CI pipes a scraped /metrics body through it so a malformed
+// metric family fails the build instead of silently breaking scrapes.
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics | promcheck
+//	promcheck metrics.txt
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"flexpath/internal/obs"
+)
+
+func main() {
+	var (
+		body []byte
+		err  error
+		src  = "stdin"
+	)
+	switch len(os.Args) {
+	case 1:
+		body, err = io.ReadAll(os.Stdin)
+	case 2:
+		src = os.Args[1]
+		body, err = os.ReadFile(src)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: promcheck [file]")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	if err := obs.ValidateExposition(body); err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", src, err)
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: %s: ok (%d bytes)\n", src, len(body))
+}

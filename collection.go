@@ -4,11 +4,15 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"flexpath/internal/obs"
 	"flexpath/internal/qcache"
 )
 
@@ -165,17 +169,30 @@ func (c *Collection) SearchContext(ctx context.Context, q *Query, opts SearchOpt
 		return nil, err
 	}
 
+	span := obs.SpanFrom(ctx)
+
 	qc := c.qc.Load()
 	useCache := qc != nil && !opts.NoCache
 	var key string
 	if useCache {
 		key = searchCacheKey(q, opts)
-		if v, ok := qc.Get(key); ok {
+		var tCache time.Time
+		if span != nil {
+			tCache = time.Now()
+		}
+		v, ok := qc.Get(key)
+		if span != nil {
+			span.Rec(obs.StageCache, time.Since(tCache))
+		}
+		if ok {
+			span.MarkCacheHit()
 			if opts.Metrics != nil {
 				*opts.Metrics = Metrics{}
 			}
-			// Hand out a copy: callers may re-sort or truncate theirs.
-			return append([]CollectionAnswer(nil), v.([]CollectionAnswer)...), nil
+			// Hand out a deep copy: callers may re-sort or truncate the
+			// slice and mutate each answer's Relaxed strings; a shallow
+			// copy would let that poison every later hit.
+			return copyCollectionAnswers(v.([]CollectionAnswer)), nil
 		}
 	}
 
@@ -223,6 +240,10 @@ func (c *Collection) SearchContext(ctx context.Context, q *Query, opts SearchOpt
 
 	// Error reporting and metrics accumulation walk documents in
 	// insertion order, so the outcome is independent of worker timing.
+	var tMerge time.Time
+	if span != nil {
+		tMerge = time.Now()
+	}
 	var all []CollectionAnswer
 	for i := range c.docs {
 		if perErr[i] != nil {
@@ -250,13 +271,30 @@ func (c *Collection) SearchContext(ctx context.Context, q *Query, opts SearchOpt
 	if len(all) > opts.K {
 		all = all[:opts.K]
 	}
+	if span != nil {
+		span.Rec(obs.StageMerge, time.Since(tMerge))
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if useCache {
-		qc.Put(key, append([]CollectionAnswer(nil), all...))
+		// Store a deep copy so the caller's slice (returned below) and
+		// the cached ranking share no mutable state.
+		qc.Put(key, copyCollectionAnswers(all))
 	}
 	return all, nil
+}
+
+// copyCollectionAnswers clones a merged ranking including each answer's
+// Relaxed slice, the only mutable state an Answer exposes.
+func copyCollectionAnswers(src []CollectionAnswer) []CollectionAnswer {
+	out := append([]CollectionAnswer(nil), src...)
+	for i := range out {
+		if len(out[i].Relaxed) > 0 {
+			out[i].Relaxed = append([]string(nil), out[i].Relaxed...)
+		}
+	}
+	return out
 }
 
 func (m *Metrics) add(o Metrics) {
@@ -285,7 +323,8 @@ func LoadCollectionFiles(paths ...string) (*Collection, error) {
 }
 
 // LoadCollectionDir builds a collection from every .xml file directly
-// inside dir.
+// inside dir. The extension match is case-insensitive (".XML" files
+// written by case-preserving filesystems load too).
 func LoadCollectionDir(dir string) (*Collection, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -293,10 +332,10 @@ func LoadCollectionDir(dir string) (*Collection, error) {
 	}
 	c := NewCollection()
 	for _, e := range entries {
-		if e.IsDir() || len(e.Name()) < 4 || e.Name()[len(e.Name())-4:] != ".xml" {
+		if e.IsDir() || !strings.EqualFold(filepath.Ext(e.Name()), ".xml") {
 			continue
 		}
-		if err := c.AddFile(dir + string(os.PathSeparator) + e.Name()); err != nil {
+		if err := c.AddFile(filepath.Join(dir, e.Name())); err != nil {
 			return nil, err
 		}
 	}

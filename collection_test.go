@@ -122,12 +122,20 @@ func TestLoadCollectionDir(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	// Extension matching is case-insensitive: .XML must load (regression
+	// for the suffix check that only accepted lowercase ".xml").
+	if err := os.WriteFile(filepath.Join(dir, "UPPER.XML"), []byte(collDocA), 0o644); err != nil {
+		t.Fatal(err)
+	}
 	c, err := LoadCollectionDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.Len() != 2 {
-		t.Errorf("loaded %d documents, want 2", c.Len())
+	if c.Len() != 3 {
+		t.Errorf("loaded %d documents, want 3", c.Len())
+	}
+	if _, ok := c.Document(filepath.Join(dir, "UPPER.XML")); !ok {
+		t.Errorf("UPPER.XML not loaded; names: %v", c.Names())
 	}
 	if _, err := LoadCollectionDir(t.TempDir()); err == nil {
 		t.Error("empty dir accepted")

@@ -36,10 +36,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"flexpath/internal/core"
 	"flexpath/internal/exec"
 	"flexpath/internal/ir"
+	"flexpath/internal/obs"
 	"flexpath/internal/qcache"
 	"flexpath/internal/rank"
 	"flexpath/internal/stats"
@@ -391,16 +393,17 @@ type Answer struct {
 	expr ir.Expr
 }
 
-// Snippet returns up to n characters of the answer subtree's text,
-// centered on the first occurrence of the query's full-text terms when
-// the query has a contains predicate.
+// Snippet returns up to n bytes of the answer subtree's text, centered
+// on the first occurrence of the query's full-text terms when the query
+// has a contains predicate. Truncation never splits a multi-byte UTF-8
+// rune (a split rune would be mangled to U+FFFD by JSON encoding).
 func (a Answer) Snippet(n int) string {
 	if a.expr != nil {
 		return a.doc.index.Snippet(a.node, a.expr, n)
 	}
 	s := a.doc.tree.SubtreeText(a.node)
 	if len(s) > n {
-		s = s[:n] + "…"
+		s = s[:ir.SnapRuneDown(s, n)] + "…"
 	}
 	return s
 }
@@ -480,13 +483,26 @@ func (d *Document) SearchContext(ctx context.Context, q *Query, opts SearchOptio
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// The observability span (if the caller started one) rides the
+	// context; every use below is nil-guarded so an uninstrumented
+	// search pays only this lookup.
+	span := obs.SpanFrom(ctx)
 
 	qc := d.qc.Load()
 	useCache := qc != nil && !opts.NoCache
 	var key string
 	if useCache {
 		key = searchCacheKey(q, opts)
-		if v, ok := qc.Get(key); ok {
+		var tCache time.Time
+		if span != nil {
+			tCache = time.Now()
+		}
+		v, ok := qc.Get(key)
+		if span != nil {
+			span.Rec(obs.StageCache, time.Since(tCache))
+		}
+		if ok {
+			span.MarkCacheHit()
 			// A hit performs no evaluation work, so the counters report
 			// zero; cache effectiveness is reported via CacheStats.
 			if opts.Metrics != nil {
@@ -496,7 +512,14 @@ func (d *Document) SearchContext(ctx context.Context, q *Query, opts SearchOptio
 		}
 	}
 
+	var tChain time.Time
+	if span != nil {
+		tChain = time.Now()
+	}
 	chain, err := d.chainH(q, opts.Weights, opts.Hierarchy)
+	if span != nil {
+		span.Rec(obs.StageChain, time.Since(tChain))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -520,6 +543,7 @@ func (d *Document) SearchContext(ctx context.Context, q *Query, opts SearchOptio
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	span.SetRelaxations(topts.opts.Metrics.RelaxationsEncoded)
 	if opts.Metrics != nil {
 		*opts.Metrics = topts.export()
 	}
@@ -531,7 +555,10 @@ func (d *Document) SearchContext(ctx context.Context, q *Query, opts SearchOptio
 
 // buildAnswers converts internal results into public answers, applying
 // pagination. Cached result slices are never mutated: the offset is taken
-// by re-slicing and each call allocates fresh Answer values.
+// by re-slicing, each call allocates fresh Answer values, and the Missed
+// slices shared with the cache are copied before they are handed out as
+// Answer.Relaxed — a caller mutating Relaxed must not poison later cache
+// hits.
 func (d *Document) buildAnswers(q *Query, results []topkResult, opts SearchOptions) []Answer {
 	if opts.Offset > 0 {
 		if opts.Offset >= len(results) {
@@ -550,6 +577,10 @@ func (d *Document) buildAnswers(q *Query, results []topkResult, opts SearchOptio
 	answers := make([]Answer, len(results))
 	for i, r := range results {
 		id, _ := d.tree.Attr(r.Node, "id")
+		var relaxed []string
+		if len(r.Missed) > 0 {
+			relaxed = append([]string(nil), r.Missed...)
+		}
 		answers[i] = Answer{
 			Path:        d.tree.Path(r.Node),
 			Tag:         d.tree.TagName(r.Node),
@@ -557,7 +588,7 @@ func (d *Document) buildAnswers(q *Query, results []topkResult, opts SearchOptio
 			Structural:  r.Score.SS,
 			Keyword:     r.Score.KS,
 			Relaxations: r.Relaxations,
-			Relaxed:     r.Missed,
+			Relaxed:     relaxed,
 			node:        r.Node,
 			doc:         d,
 			expr:        snippetExpr,
@@ -598,7 +629,9 @@ type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
-	// Entries is the current size; Capacity the configured maximum.
+	// Entries is the current size; Capacity the effective maximum: the
+	// configured capacity rounded up to a whole number of entries per
+	// cache shard (see qcache.New).
 	Entries  int `json:"entries"`
 	Capacity int `json:"capacity"`
 }
@@ -664,8 +697,22 @@ type RelaxationStep struct {
 // cheapest to most drastic, with their penalties. Level 0 (the exact
 // query) is not included.
 func (d *Document) Relaxations(q *Query) ([]RelaxationStep, error) {
+	return d.RelaxationsContext(context.Background(), q)
+}
+
+// RelaxationsContext is Relaxations with cancellation: the context is
+// checked before and after the (potentially expensive) chain build, so
+// a timed-out request releases its worker instead of formatting a chain
+// nobody will read.
+func (d *Document) RelaxationsContext(ctx context.Context, q *Query) ([]RelaxationStep, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	chain, err := d.chain(q, Weights{})
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	steps := make([]RelaxationStep, len(chain.Steps))
@@ -686,14 +733,26 @@ func (d *Document) Relaxations(q *Query) ([]RelaxationStep, error) {
 // relaxations the selectivity estimator decides to encode and the shape
 // of the scored join plan.
 func (d *Document) ExplainPlan(q *Query, opts SearchOptions) (string, error) {
+	return d.ExplainPlanContext(context.Background(), q, opts)
+}
+
+// ExplainPlanContext is ExplainPlan with cancellation; see
+// RelaxationsContext.
+func (d *Document) ExplainPlanContext(ctx context.Context, q *Query, opts SearchOptions) (string, error) {
 	if opts.K <= 0 {
 		opts.K = 10
+	}
+	if err := ctx.Err(); err != nil {
+		return "", err
 	}
 	chain, err := d.chainH(q, opts.Weights, opts.Hierarchy)
 	if err != nil {
 		return "", err
 	}
-	b := topkOptions(context.Background(), opts)
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	b := topkOptions(ctx, opts)
 	return explainPlan(d, chain, b)
 }
 

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"unicode/utf8"
 
 	"flexpath/internal/xmark"
 )
@@ -242,6 +243,33 @@ func TestMetricsPopulated(t *testing.T) {
 	}
 	if m.PlansRun == 0 {
 		t.Errorf("metrics not populated: %+v", m)
+	}
+}
+
+// TestAnswerSnippetRuneBoundaries is the regression test for the
+// structure-only snippet path truncating inside a multi-byte rune: a
+// query without full-text terms takes the raw-prefix branch of
+// Answer.Snippet, and every budget in the sweep must still yield valid
+// UTF-8.
+func TestAnswerSnippetRuneBoundaries(t *testing.T) {
+	body := strings.Repeat("über naïve café résumé ", 10)
+	doc, err := LoadString(`<collection><article id="a1"><section><paragraph>` +
+		body + `</paragraph></section></article></collection>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := doc.Search(MustParseQuery(`//article[./section/paragraph]`), SearchOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 {
+		t.Fatalf("answers = %d, want 1", len(answers))
+	}
+	for n := 5; n <= 60; n++ {
+		s := answers[0].Snippet(n)
+		if !utf8.ValidString(s) {
+			t.Fatalf("n=%d: snippet is invalid UTF-8: %q", n, s)
+		}
 	}
 }
 

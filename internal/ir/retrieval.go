@@ -2,6 +2,7 @@ package ir
 
 import (
 	"sort"
+	"unicode/utf8"
 
 	"flexpath/internal/xmltree"
 )
@@ -61,8 +62,10 @@ func (ix *Index) TopContexts(tag string, e Expr, limit int) []Match {
 
 // Snippet returns a fragment of the node's subtree text of at most max
 // bytes, centered on the first occurrence of any of the expression's
-// terms, with the document's own casing preserved. It backs result
-// presentation in the CLI and examples.
+// terms, with the document's own casing preserved. Fragment bounds are
+// snapped to rune boundaries so a multi-byte UTF-8 rune is never split
+// (a split rune turns into U+FFFD under JSON encoding). It backs result
+// presentation in the CLI, the HTTP API and examples.
 func (ix *Index) Snippet(n xmltree.NodeID, e Expr, max int) string {
 	text := ix.doc.SubtreeText(n)
 	if len(text) <= max {
@@ -91,19 +94,21 @@ func (ix *Index) Snippet(n xmltree.NodeID, e Expr, max int) string {
 		}
 	}
 	if pos < 0 {
-		return text[:max] + "…"
+		return text[:SnapRuneDown(text, max)] + "…"
 	}
 	lo := pos - max/3
 	if lo < 0 {
 		lo = 0
 	}
+	// Snapping lo forward and hi backward keeps hi-lo <= max while
+	// landing both bounds on rune starts.
+	lo = snapRuneUp(text, lo)
 	hi := lo + max
-	if hi > len(text) {
+	if hi >= len(text) {
 		hi = len(text)
-		lo = hi - max
-		if lo < 0 {
-			lo = 0
-		}
+		lo = snapRuneUp(text, hi-max)
+	} else {
+		hi = SnapRuneDown(text, hi)
 	}
 	s := text[lo:hi]
 	if lo > 0 {
@@ -113,6 +118,44 @@ func (ix *Index) Snippet(n xmltree.NodeID, e Expr, max int) string {
 		s += "…"
 	}
 	return s
+}
+
+// SnapRuneDown returns the largest index j <= i that is a UTF-8 rune
+// boundary of s; i is clamped to [0, len(s)]. On invalid UTF-8 it gives
+// up after utf8.UTFMax-1 continuation bytes and returns the position
+// reached (slicing invalid text cannot make it more invalid).
+func SnapRuneDown(s string, i int) int {
+	if i >= len(s) {
+		return len(s)
+	}
+	if i < 0 {
+		return 0
+	}
+	for k := 0; k < utf8.UTFMax-1 && i > 0; k++ {
+		if utf8.RuneStart(s[i]) {
+			return i
+		}
+		i--
+	}
+	return i
+}
+
+// snapRuneUp returns the smallest index j >= i that is a rune boundary
+// of s; i is clamped to [0, len(s)].
+func snapRuneUp(s string, i int) int {
+	if i <= 0 {
+		return 0
+	}
+	for k := 0; k < utf8.UTFMax-1 && i < len(s); k++ {
+		if utf8.RuneStart(s[i]) {
+			return i
+		}
+		i++
+	}
+	if i > len(s) {
+		return len(s)
+	}
+	return i
 }
 
 func nextWord(s string, from int) (int, int) {

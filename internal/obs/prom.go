@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) rendering. Only the
+// features the /metrics endpoint needs are implemented: HELP/TYPE
+// headers, counters, gauges and cumulative histograms with le labels.
+
+// PromContentType is the Content-Type of the rendered exposition.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}
+
+// promBound renders a bucket bound in seconds ("+Inf" for overflow).
+func promBound(i int) string {
+	b := BucketBound(i)
+	if b < 0 {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(float64(b)/1e9, 'g', -1, 64)
+}
+
+// writeHistogram renders one histogram series with the given label pair
+// applied to every sample.
+func writeHistogram(w io.Writer, name, labelKey, labelVal string, s HistogramSnapshot) {
+	lv := escapeLabel(labelVal)
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", name, labelKey, lv, promBound(i), cum)
+	}
+	fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", name, labelKey, lv, s.Sum.Seconds())
+	fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, labelKey, lv, s.Count)
+}
+
+// WritePrometheus renders the registry's counters, histograms and the
+// in-flight gauge in the Prometheus text exposition format. Serving
+// callers append their own families (e.g. cache counters) after it.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	fmt.Fprintln(w, "# HELP flexpath_queries_total Finished search queries by algorithm, ranking scheme and terminal status.")
+	fmt.Fprintln(w, "# TYPE flexpath_queries_total counter")
+	for _, qc := range r.QueryCounts() {
+		fmt.Fprintf(w, "flexpath_queries_total{algo=%q,scheme=%q,status=%q} %d\n",
+			escapeLabel(qc.Algo), escapeLabel(qc.Scheme), escapeLabel(qc.Status), qc.Count)
+	}
+
+	fmt.Fprintln(w, "# HELP flexpath_inflight_queries Searches currently being evaluated.")
+	fmt.Fprintln(w, "# TYPE flexpath_inflight_queries gauge")
+	fmt.Fprintf(w, "flexpath_inflight_queries %d\n", r.InFlight())
+
+	fmt.Fprintln(w, "# HELP flexpath_query_duration_seconds End-to-end search latency by algorithm.")
+	fmt.Fprintln(w, "# TYPE flexpath_query_duration_seconds histogram")
+	algos, hists := r.LatencyByAlgo()
+	for i, a := range algos {
+		writeHistogram(w, "flexpath_query_duration_seconds", "algo", a, hists[i])
+	}
+
+	fmt.Fprintln(w, "# HELP flexpath_stage_duration_seconds Per-stage evaluation time (parse, chain, join, merge, cache).")
+	fmt.Fprintln(w, "# TYPE flexpath_stage_duration_seconds histogram")
+	for i, s := range r.StageLatency() {
+		writeHistogram(w, "flexpath_stage_duration_seconds", "stage", Stage(i).String(), s)
+	}
+
+	fmt.Fprintln(w, "# HELP flexpath_slowlog_entries Queries retained in the slow-query log.")
+	fmt.Fprintln(w, "# TYPE flexpath_slowlog_entries gauge")
+	fmt.Fprintf(w, "flexpath_slowlog_entries %d\n", r.SlowLog().Len())
+}
+
+// ValidateExposition checks that data is well-formed Prometheus text
+// exposition format: every non-comment line is `name{labels} value`,
+// label syntax is sound, values parse as floats, and every sample
+// belongs to a family announced by a # TYPE line. It is the assertion
+// behind the CI smoke test (and cmd/promcheck); it is deliberately a
+// validator, not a full parser.
+func ValidateExposition(data []byte) error {
+	typed := make(map[string]string)
+	for ln, line := range strings.Split(string(data), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, rest, err := splitMetricName(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if strings.HasPrefix(rest, "{") {
+			end, err := scanLabels(rest)
+			if err != nil {
+				return fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			rest = rest[end:]
+		}
+		rest = strings.TrimLeft(rest, " ")
+		value := rest
+		if i := strings.IndexByte(rest, ' '); i >= 0 {
+			value = rest[:i]
+			if _, err := strconv.ParseInt(strings.TrimSpace(rest[i+1:]), 10, 64); err != nil {
+				return fmt.Errorf("line %d: bad timestamp %q", lineNo, rest[i+1:])
+			}
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("line %d: bad sample value %q", lineNo, value)
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suffix); base != name && typed[base] == "histogram" {
+				family = base
+				break
+			}
+		}
+		if _, ok := typed[family]; !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, name)
+		}
+	}
+	if len(typed) == 0 {
+		return fmt.Errorf("no metric families found")
+	}
+	return nil
+}
+
+// splitMetricName splits off a leading metric name, validating its
+// character set.
+func splitMetricName(line string) (name, rest string, err error) {
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+			(i > 0 && c >= '0' && c <= '9') {
+			i++
+			continue
+		}
+		break
+	}
+	if i == 0 {
+		return "", "", fmt.Errorf("missing metric name in %q", line)
+	}
+	return line[:i], line[i:], nil
+}
+
+// scanLabels validates a {k="v",...} label block and returns the index
+// just past the closing brace.
+func scanLabels(s string) (int, error) {
+	i := 1 // past '{'
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(s) && (s[i] >= 'a' && s[i] <= 'z' || s[i] >= 'A' && s[i] <= 'Z' ||
+			s[i] == '_' || (i > start && s[i] >= '0' && s[i] <= '9')) {
+			i++
+		}
+		if i == start {
+			return 0, fmt.Errorf("missing label name at %q", s[i:])
+		}
+		if i >= len(s) || s[i] != '=' {
+			return 0, fmt.Errorf("missing '=' in label at %q", s[start:])
+		}
+		i++
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label value must be quoted at %q", s[start:])
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value")
+		}
+		i++ // past closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+// StageNames returns the stage labels in declaration order; serving
+// layers use it to render per-stage JSON deterministically.
+func StageNames() []string {
+	names := make([]string, NumStages)
+	for i := range names {
+		names[i] = Stage(i).String()
+	}
+	return names
+}

@@ -21,7 +21,10 @@ type Stats struct {
 	Misses    uint64
 	Evictions uint64
 	Entries   int
-	Capacity  int
+	// Capacity is the cache's effective capacity: the constructor's
+	// requested capacity rounded up to a whole number of entries per
+	// shard (see New).
+	Capacity int
 }
 
 // Cache is a sharded LRU cache mapping string keys to opaque values. The
@@ -53,9 +56,18 @@ type entry struct {
 // mutex without fragmenting small caches.
 const defaultShards = 16
 
-// New returns a cache holding at most capacity entries in total. A
+// New returns a cache holding at least capacity entries in total. A
 // capacity below 1 is treated as 1. Shard count adapts so every shard
 // holds at least one entry.
+//
+// Capacity policy: eviction is per shard (each shard runs its own LRU
+// over ceil(capacity/shards) entries), so the effective total capacity
+// is rounded up to a whole number of entries per shard — at most
+// shards-1 above the requested value. Stats.Capacity reports this
+// effective capacity. The trade-off is deliberate: a global LRU bound
+// would reintroduce the cross-shard lock the sharding exists to avoid,
+// and a hash-skewed shard can evict while the cache as a whole is below
+// the bound — the bound is per shard, not global.
 func New(capacity int) *Cache {
 	if capacity < 1 {
 		capacity = 1
@@ -68,8 +80,10 @@ func New(capacity int) *Cache {
 }
 
 func newWithShards(capacity, shards int) *Cache {
-	c := &Cache{shards: make([]shard, shards), capacity: capacity}
 	per := (capacity + shards - 1) / shards
+	// Report what the cache will actually hold: per-shard LRU bounds
+	// admit per*shards entries in total.
+	c := &Cache{shards: make([]shard, shards), capacity: per * shards}
 	for i := range c.shards {
 		c.shards[i] = shard{
 			items: make(map[string]*list.Element),

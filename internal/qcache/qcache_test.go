@@ -66,6 +66,27 @@ func TestCapacityBound(t *testing.T) {
 	}
 }
 
+// TestStatsCapacityEffective pins the capacity contract: the per-shard
+// LRU rounds the requested capacity up to a whole number of entries per
+// shard, Stats.Capacity reports that effective value, and the cache
+// never holds more than it.
+func TestStatsCapacityEffective(t *testing.T) {
+	for _, req := range []int{1, 7, 16, 17, 32, 100, 1000} {
+		c := New(req)
+		eff := c.Stats().Capacity
+		if eff < req || eff >= req+defaultShards {
+			t.Errorf("New(%d): effective capacity %d outside [%d, %d)",
+				req, eff, req, req+defaultShards)
+		}
+		for i := 0; i < 4*req+64; i++ {
+			c.Put(fmt.Sprintf("k%d", i), i)
+		}
+		if n := c.Len(); n > eff {
+			t.Errorf("New(%d): Len %d exceeds reported capacity %d", req, n, eff)
+		}
+	}
+}
+
 func TestTinyCapacity(t *testing.T) {
 	c := New(0) // clamped to 1
 	c.Put("a", 1)

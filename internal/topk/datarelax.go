@@ -2,9 +2,11 @@ package topk
 
 import (
 	"fmt"
+	"time"
 
 	"flexpath/internal/core"
 	"flexpath/internal/ir"
+	"flexpath/internal/obs"
 	"flexpath/internal/rank"
 	"flexpath/internal/tpq"
 	"flexpath/internal/xmltree"
@@ -27,6 +29,12 @@ import (
 // materialization; when exceeded, DataRelax fails, which is the observable
 // behavior of the original system at scale.
 func DataRelax(chain *core.Chain, opts Options, maxPairs int) ([]Result, error) {
+	// The closure materialization and the evaluation over it are this
+	// strategy's whole cost; charge both to the join stage.
+	if opts.Span != nil {
+		start := time.Now()
+		defer func() { opts.Span.Rec(obs.StageJoin, time.Since(start)) }()
+	}
 	m := opts.metrics()
 	q := chain.Original
 	doc := chain.Doc()

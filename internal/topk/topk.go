@@ -19,10 +19,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"flexpath/internal/core"
 	"flexpath/internal/exec"
 	"flexpath/internal/ir"
+	"flexpath/internal/obs"
 	"flexpath/internal/rank"
 	"flexpath/internal/stats"
 	"flexpath/internal/tpq"
@@ -80,6 +82,21 @@ type Options struct {
 	Parallel int
 	// Metrics, when non-nil, accumulates work counters.
 	Metrics *Metrics
+	// Span, when non-nil, receives per-stage latency: the algorithms
+	// record join/plan execution time under obs.StageJoin. A nil span
+	// costs one pointer check per plan run.
+	Span *obs.Span
+}
+
+// timeJoin runs fn, charging its duration to the span's join stage.
+func (o *Options) timeJoin(fn func()) {
+	if o.Span == nil {
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	o.Span.Rec(obs.StageJoin, time.Since(start))
 }
 
 func (o *Options) metrics() *Metrics {
@@ -140,7 +157,8 @@ func dpo(ev *exec.Evaluator, chain *core.Chain, opts Options, semijoin bool) []R
 		var block []Result
 		ss := chain.SSAt(level)
 		if semijoin {
-			ok := ev.EvaluateFull(q)
+			var ok [][]xmltree.NodeID
+			opts.timeJoin(func() { ok = ev.EvaluateFull(q) })
 			if ok != nil {
 				scorer := newKSScorer(chain, level, q, ok)
 				for _, n := range ok[q.Dist] {
@@ -164,11 +182,15 @@ func dpo(ev *exec.Evaluator, chain *core.Chain, opts Options, semijoin bool) []R
 			// plan (not just post-hoc), so each level's pass only
 			// explores data that can still produce new answers —
 			// the paper's avoid-recomputation device (§5.2.2).
-			for _, a := range exec.Run(plan, exec.Options{
-				Mode: exec.ModeExhaustive, Scheme: opts.Scheme,
-				Parallel: opts.Parallel, Stats: &m.Pipeline,
-				Exclude: seen, Ctx: opts.Ctx,
-			}) {
+			var levelAnswers []exec.Answer
+			opts.timeJoin(func() {
+				levelAnswers = exec.Run(plan, exec.Options{
+					Mode: exec.ModeExhaustive, Scheme: opts.Scheme,
+					Parallel: opts.Parallel, Stats: &m.Pipeline,
+					Exclude: seen, Ctx: opts.Ctx,
+				})
+			})
+			for _, a := range levelAnswers {
 				if seen[a.Node] {
 					continue
 				}
@@ -254,13 +276,16 @@ func planBased(chain *core.Chain, est *stats.Estimator, opts Options, mode exec.
 		}
 		m.PlansRun++
 		m.RelaxationsEncoded = j
-		answers := exec.Run(plan, exec.Options{
-			K:        k,
-			Scheme:   opts.Scheme,
-			Mode:     mode,
-			Parallel: opts.Parallel,
-			Stats:    &m.Pipeline,
-			Ctx:      opts.Ctx,
+		var answers []exec.Answer
+		opts.timeJoin(func() {
+			answers = exec.Run(plan, exec.Options{
+				K:        k,
+				Scheme:   opts.Scheme,
+				Mode:     mode,
+				Parallel: opts.Parallel,
+				Stats:    &m.Pipeline,
+				Ctx:      opts.Ctx,
+			})
 		})
 		if opts.cancelled() {
 			return nil

@@ -5,6 +5,7 @@ import (
 
 	"flexpath/internal/core"
 	"flexpath/internal/exec"
+	"flexpath/internal/obs"
 	"flexpath/internal/rank"
 	"flexpath/internal/topk"
 )
@@ -18,6 +19,9 @@ type bridgeOptions struct {
 }
 
 func topkOptions(ctx context.Context, o SearchOptions) *bridgeOptions {
+	// The active observability span (if any) rides the context; capture
+	// it before the background context is normalized away.
+	span := obs.SpanFrom(ctx)
 	// Pagination: the algorithms compute the top Offset+K answers; the
 	// public layer slices the window off afterwards.
 	if ctx == context.Background() {
@@ -31,6 +35,7 @@ func topkOptions(ctx context.Context, o SearchOptions) *bridgeOptions {
 		Parallel: o.Parallel,
 		Ctx:      ctx,
 		Metrics:  &topk.Metrics{},
+		Span:     span,
 	}}
 }
 
