@@ -1,0 +1,184 @@
+package flexpath
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// renderAutoRanking serializes a ranking without the Relaxed detail —
+// Auto may dispatch to DPO, which reports only the level, so Auto
+// answers agree with fixed-algorithm answers on everything except the
+// relaxation explanations.
+func renderAutoRanking(answers []Answer) string {
+	var sb strings.Builder
+	for i, a := range answers {
+		fmt.Fprintf(&sb, "%d|%s|%s|%.12f|%.12f|%d\n",
+			i, a.Path, a.ID, a.Structural, a.Keyword, a.Relaxations)
+	}
+	return sb.String()
+}
+
+// TestAutoMatchesFixedAlgorithms: for every scheme and K, the default
+// (Auto) ranking must be identical to the ranking of the algorithm the
+// planner dispatched to (named in Metrics.Algorithm) when that same
+// algorithm is requested explicitly — the planner picks a strategy, it
+// never alters what the strategy returns.
+func TestAutoMatchesFixedAlgorithms(t *testing.T) {
+	doc, err := LoadString(articlesXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustParseQuery(paperQ1)
+	for _, scheme := range []Scheme{StructureFirst, KeywordFirst, Combined} {
+		for _, k := range []int{1, 3, 10} {
+			var m Metrics
+			auto, err := doc.Search(q, SearchOptions{
+				K: k, Scheme: scheme, Metrics: &m, NoCache: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			algo, err := ParseAlgorithm(m.Algorithm)
+			if err != nil {
+				t.Fatalf("%v k=%d: unparsable chosen algorithm %q", scheme, k, m.Algorithm)
+			}
+			fixed, err := doc.Search(q, SearchOptions{
+				K: k, Scheme: scheme, Algorithm: algo, NoCache: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := renderAutoRanking(auto), renderAutoRanking(fixed); got != want {
+				t.Errorf("%v k=%d: Auto differs from chosen %v:\n%s\nvs\n%s",
+					scheme, k, algo, got, want)
+			}
+		}
+	}
+}
+
+// TestAutoMetricsNameAlgorithm: Auto searches must report which
+// algorithm ran and why; fixed-algorithm searches name themselves with
+// no reason.
+func TestAutoMetricsNameAlgorithm(t *testing.T) {
+	doc, err := LoadString(articlesXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustParseQuery(paperQ1)
+	var m Metrics
+	if _, err := doc.Search(q, SearchOptions{K: 3, Metrics: &m}); err != nil {
+		t.Fatal(err)
+	}
+	switch m.Algorithm {
+	case "DPO", "SSO", "Hybrid":
+	default:
+		t.Errorf("Auto reported algorithm %q", m.Algorithm)
+	}
+	if m.AlgoReason == "" {
+		t.Error("Auto reported no reason")
+	}
+	m = Metrics{}
+	if _, err := doc.Search(q, SearchOptions{K: 3, Algorithm: SSO, Metrics: &m}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Algorithm != "SSO" || m.AlgoReason != "" {
+		t.Errorf("fixed SSO search reported %q / %q", m.Algorithm, m.AlgoReason)
+	}
+}
+
+// TestPlannerStatsAccumulate: the document's planner state must reflect
+// Auto searches — one choice and one observation per run — and ignore
+// fixed-algorithm searches.
+func TestPlannerStatsAccumulate(t *testing.T) {
+	doc, err := LoadString(articlesXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustParseQuery(paperQ1)
+	for i := 0; i < 4; i++ {
+		if _, err := doc.Search(q, SearchOptions{K: 3, NoCache: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := doc.Search(q, SearchOptions{K: 3, Algorithm: DPO, NoCache: true}); err != nil {
+		t.Fatal(err)
+	}
+	s := doc.PlannerStats()
+	if s.Observations != 4 {
+		t.Errorf("observations = %d, want 4", s.Observations)
+	}
+	total := uint64(0)
+	for _, n := range s.Choices {
+		total += n
+	}
+	if total != 4 {
+		t.Errorf("choices = %v, want 4 total", s.Choices)
+	}
+	if len(s.NsPerUnit) == 0 {
+		t.Error("no calibration state after observed runs")
+	}
+}
+
+// TestCacheHitNamesProducingAlgorithm: a cache hit reports the
+// algorithm that produced the entry alongside zeroed work counters.
+func TestCacheHitNamesProducingAlgorithm(t *testing.T) {
+	doc, err := LoadString(articlesXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.SetCache(8)
+	q := MustParseQuery(paperQ1)
+	var cold Metrics
+	if _, err := doc.Search(q, SearchOptions{K: 3, Metrics: &cold}); err != nil {
+		t.Fatal(err)
+	}
+	var warm Metrics
+	if _, err := doc.Search(q, SearchOptions{K: 3, Metrics: &warm}); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Algorithm != cold.Algorithm {
+		t.Errorf("cache hit reported %q, cold run %q", warm.Algorithm, cold.Algorithm)
+	}
+	if warm.QueriesEvaluated != 0 || warm.PlansRun != 0 {
+		t.Errorf("cache hit reported work: %+v", warm)
+	}
+}
+
+// TestCollectionPlannerStats: collection planner stats sum the member
+// documents' counters, and merged metrics name the common algorithm.
+func TestCollectionPlannerStats(t *testing.T) {
+	c := NewCollection()
+	for _, name := range []string{"a.xml", "b.xml"} {
+		doc, err := LoadString(articlesXML)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Add(name, doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := MustParseQuery(paperQ1)
+	var m Metrics
+	if _, err := c.Search(q, SearchOptions{K: 3, Metrics: &m}); err != nil {
+		t.Fatal(err)
+	}
+	// Identical documents plan identically, so the merged metrics must
+	// name one algorithm, not "mixed".
+	switch m.Algorithm {
+	case "DPO", "SSO", "Hybrid":
+	default:
+		t.Errorf("merged metrics named %q", m.Algorithm)
+	}
+	s := c.PlannerStats()
+	if s.Observations != 2 {
+		t.Errorf("observations = %d, want 2 (one per document)", s.Observations)
+	}
+	total := uint64(0)
+	for _, n := range s.Choices {
+		total += n
+	}
+	if total != 2 {
+		t.Errorf("choices = %v, want 2 total", s.Choices)
+	}
+}

@@ -1,0 +1,240 @@
+// Command benchdiff compares a flexbench -json run against a checked-in
+// baseline and fails on latency regressions. It is the CI perf gate:
+//
+//	flexbench -fig gate -runs 5 -seed 42 -json current.json
+//	benchdiff -baseline bench_baseline.json -current current.json
+//
+// CI machines and the machine that produced the baseline differ in
+// speed, so raw ratios are useless. benchdiff normalizes: it computes
+// the current/baseline ratio of every timing column of every record,
+// takes the median ratio as the machine-speed factor, and judges each
+// measurement by its ratio relative to that median. A genuine
+// regression makes a few measurements slower than the rest moved; a
+// slower machine moves everything together and trips nothing.
+//
+//	benchdiff -update    # re-time the gate workload and rewrite the baseline
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+)
+
+type benchFile struct {
+	Runs    int              `json:"runs"`
+	Seed    int64            `json:"seed"`
+	Records []map[string]any `json:"records"`
+}
+
+type measurement struct {
+	Key      string  `json:"key"` // "figure/query/K column"
+	Baseline float64 `json:"baseline_ms"`
+	Current  float64 `json:"current_ms"`
+	Ratio    float64 `json:"ratio"`      // raw current/baseline
+	Normal   float64 `json:"normalized"` // ratio / median ratio
+	Status   string  `json:"status"`     // "ok", "warn", "fail"
+}
+
+type report struct {
+	SpeedFactor  float64       `json:"speed_factor"` // median raw ratio
+	FailOver     float64       `json:"fail_over"`
+	WarnOver     float64       `json:"warn_over"`
+	Measurements []measurement `json:"measurements"`
+	Missing      []string      `json:"missing,omitempty"` // keys only one side has
+	Failed       bool          `json:"failed"`
+}
+
+// recordKey identifies a record by its non-timing columns, so baseline
+// and current rows pair up no matter their order in the file.
+func recordKey(rec map[string]any) string {
+	keys := make([]string, 0, len(rec))
+	for k := range rec {
+		if strings.HasSuffix(k, "_ms") {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s=%v ", k, rec[k])
+	}
+	return strings.TrimSpace(sb.String())
+}
+
+func timings(rec map[string]any) map[string]float64 {
+	out := map[string]float64{}
+	for k, v := range rec {
+		if !strings.HasSuffix(k, "_ms") {
+			continue
+		}
+		if f, ok := v.(float64); ok && f > 0 {
+			out[k] = f
+		}
+	}
+	return out
+}
+
+func compare(baseline, current benchFile, failOver, warnOver float64) report {
+	r := report{FailOver: failOver, WarnOver: warnOver}
+	base := map[string]map[string]float64{}
+	for _, rec := range baseline.Records {
+		base[recordKey(rec)] = timings(rec)
+	}
+	seen := map[string]bool{}
+	var ratios []float64
+	for _, rec := range current.Records {
+		key := recordKey(rec)
+		seen[key] = true
+		bt, ok := base[key]
+		if !ok {
+			r.Missing = append(r.Missing, "baseline lacks: "+key)
+			continue
+		}
+		cur := timings(rec)
+		cols := make([]string, 0, len(cur))
+		for col := range cur {
+			cols = append(cols, col)
+		}
+		sort.Strings(cols)
+		for _, col := range cols {
+			bv, ok := bt[col]
+			if !ok {
+				r.Missing = append(r.Missing, "baseline lacks: "+key+" "+col)
+				continue
+			}
+			m := measurement{
+				Key: key + " " + col, Baseline: bv, Current: cur[col],
+				Ratio: cur[col] / bv,
+			}
+			ratios = append(ratios, m.Ratio)
+			r.Measurements = append(r.Measurements, m)
+		}
+	}
+	for key := range base {
+		if !seen[key] {
+			r.Missing = append(r.Missing, "current lacks: "+key)
+		}
+	}
+	sort.Strings(r.Missing)
+	if len(ratios) == 0 {
+		r.Failed = true
+		return r
+	}
+	sort.Float64s(ratios)
+	r.SpeedFactor = ratios[len(ratios)/2]
+	for i := range r.Measurements {
+		m := &r.Measurements[i]
+		m.Normal = m.Ratio / r.SpeedFactor
+		switch {
+		case m.Normal > failOver:
+			m.Status = "fail"
+			r.Failed = true
+		case m.Normal > warnOver:
+			m.Status = "warn"
+		default:
+			m.Status = "ok"
+		}
+	}
+	// Rows missing from either side mean the gate workload changed
+	// without a baseline refresh; that must fail too, or a regression
+	// could hide behind a renamed column.
+	if len(r.Missing) > 0 {
+		r.Failed = true
+	}
+	return r
+}
+
+func readBench(path string) (benchFile, error) {
+	var bf benchFile
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return bf, err
+	}
+	if err := json.Unmarshal(b, &bf); err != nil {
+		return bf, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(bf.Records) == 0 {
+		return bf, fmt.Errorf("%s: no records", path)
+	}
+	return bf, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "bench_baseline.json", "checked-in baseline file")
+	currentPath := flag.String("current", "", "flexbench -json output to judge")
+	failOver := flag.Float64("fail", 1.25, "fail when a normalized ratio exceeds this")
+	warnOver := flag.Float64("warn", 1.10, "warn when a normalized ratio exceeds this")
+	outPath := flag.String("out", "", "also write the diff report as JSON to this file")
+	update := flag.Bool("update", false, "re-run the gate workload and rewrite the baseline")
+	runs := flag.Int("runs", 5, "timed runs for -update")
+	seed := flag.Int64("seed", 42, "data generator seed for -update")
+	flag.Parse()
+
+	if *update {
+		cmd := exec.Command("go", "run", "./cmd/flexbench",
+			"-fig", "gate", "-runs", fmt.Sprint(*runs),
+			"-seed", fmt.Sprint(*seed), "-json", *baselinePath)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff: update:", err)
+			os.Exit(1)
+		}
+		fmt.Println("benchdiff: baseline updated:", *baselinePath)
+		return
+	}
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required (or -update)")
+		os.Exit(2)
+	}
+	baseline, err := readBench(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	current, err := readBench(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	r := compare(baseline, current, *failOver, *warnOver)
+	fmt.Printf("machine speed factor (median ratio): %.3f\n", r.SpeedFactor)
+	fmt.Printf("%-40s %10s %10s %8s %8s %s\n",
+		"measurement", "base_ms", "cur_ms", "ratio", "norm", "status")
+	for _, m := range r.Measurements {
+		fmt.Printf("%-40s %10.3f %10.3f %8.3f %8.3f %s\n",
+			m.Key, m.Baseline, m.Current, m.Ratio, m.Normal, m.Status)
+	}
+	for _, miss := range r.Missing {
+		fmt.Println("MISSING:", miss)
+	}
+	if *outPath != "" {
+		b, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*outPath, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+	}
+	if r.Failed {
+		worst := 0.0
+		for _, m := range r.Measurements {
+			worst = math.Max(worst, m.Normal)
+		}
+		fmt.Printf("FAIL: regression gate tripped (worst normalized ratio %.3f > %.2f, "+
+			"or gate workload changed without -update)\n", worst, *failOver)
+		os.Exit(1)
+	}
+	fmt.Println("OK: no regression beyond threshold")
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func gateFile(scale float64, perturb map[string]float64) benchFile {
+	var recs []map[string]any
+	for _, q := range []string{"XQ1", "XQ2"} {
+		for _, k := range []float64{50, 200} {
+			rec := map[string]any{"figure": "gate", "query": q, "K": k}
+			for _, col := range []string{"DPO_ms", "SSO_ms", "Hybrid_ms", "Auto_ms"} {
+				v := scale * (1 + k/100)
+				if p, ok := perturb[q+"/"+col]; ok {
+					v *= p
+				}
+				rec[col] = v
+			}
+			recs = append(recs, rec)
+		}
+	}
+	return benchFile{Runs: 5, Seed: 42, Records: recs}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	r := compare(gateFile(1, nil), gateFile(1, nil), 1.25, 1.10)
+	if r.Failed {
+		t.Fatalf("identical runs failed: %+v", r)
+	}
+	for _, m := range r.Measurements {
+		if m.Status != "ok" {
+			t.Errorf("%s: status %q", m.Key, m.Status)
+		}
+	}
+}
+
+// TestCompareSlowerMachine: a uniformly 3x slower machine must pass —
+// the median normalization absorbs machine speed.
+func TestCompareSlowerMachine(t *testing.T) {
+	r := compare(gateFile(1, nil), gateFile(3, nil), 1.25, 1.10)
+	if r.Failed {
+		t.Fatalf("uniform slowdown tripped the gate: %+v", r)
+	}
+	if r.SpeedFactor < 2.9 || r.SpeedFactor > 3.1 {
+		t.Errorf("speed factor = %v, want ~3", r.SpeedFactor)
+	}
+}
+
+// TestCompareLocalRegression: one measurement 2x slower while the rest
+// hold must fail, even on a slower machine.
+func TestCompareLocalRegression(t *testing.T) {
+	cur := gateFile(2, map[string]float64{"XQ2/SSO_ms": 2.0})
+	r := compare(gateFile(1, nil), cur, 1.25, 1.10)
+	if !r.Failed {
+		t.Fatal("2x local regression passed the gate")
+	}
+	failed := 0
+	for _, m := range r.Measurements {
+		if m.Status == "fail" {
+			if !strings.Contains(m.Key, "SSO_ms") || !strings.Contains(m.Key, "XQ2") {
+				t.Errorf("wrong measurement flagged: %s", m.Key)
+			}
+			failed++
+		}
+	}
+	if failed != 2 { // XQ2 at K=50 and K=200
+		t.Errorf("failed measurements = %d, want 2", failed)
+	}
+}
+
+// TestCompareWarnBand: a 15% local slowdown warns but does not fail.
+func TestCompareWarnBand(t *testing.T) {
+	cur := gateFile(1, map[string]float64{"XQ1/DPO_ms": 1.15})
+	r := compare(gateFile(1, nil), cur, 1.25, 1.10)
+	if r.Failed {
+		t.Fatalf("15%% slowdown failed the gate: %+v", r)
+	}
+	warned := 0
+	for _, m := range r.Measurements {
+		if m.Status == "warn" {
+			warned++
+		}
+	}
+	if warned == 0 {
+		t.Error("no warning for 15% slowdown")
+	}
+}
+
+// TestCompareMissingRows: a changed gate workload (rows or columns that
+// no longer pair up) must fail so a regression can't hide behind a
+// rename without a baseline refresh.
+func TestCompareMissingRows(t *testing.T) {
+	cur := gateFile(1, nil)
+	cur.Records = cur.Records[:len(cur.Records)-1]
+	r := compare(gateFile(1, nil), cur, 1.25, 1.10)
+	if !r.Failed {
+		t.Fatal("dropped row passed the gate")
+	}
+	if len(r.Missing) == 0 {
+		t.Error("missing rows not reported")
+	}
+}
+
+func TestRecordKeyIgnoresTimings(t *testing.T) {
+	a := map[string]any{"figure": "gate", "query": "XQ1", "K": 50.0, "DPO_ms": 1.0}
+	b := map[string]any{"figure": "gate", "query": "XQ1", "K": 50.0, "DPO_ms": 9.9}
+	if recordKey(a) != recordKey(b) {
+		t.Errorf("keys differ: %q vs %q", recordKey(a), recordKey(b))
+	}
+}

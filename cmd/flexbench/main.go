@@ -600,8 +600,64 @@ func (h *harness) figObs() {
 	}
 }
 
+// figAuto is NOT a figure of the paper: it evaluates the cost-based
+// planner (Algorithm Auto, the default) against every hand-picked
+// algorithm. For each workload query and K it times DPO, SSO, Hybrid
+// and Auto, then reports the ratio of Auto to the best fixed choice and
+// which algorithm the planner picked. The acceptance bar is Auto within
+// ~10% of the best fixed algorithm on every row (ratio <= 1.10, modulo
+// timing noise: Auto adds one planner pass per query).
+func (h *harness) figAuto() {
+	mb := h.mediumMB()
+	h.header(22, fmt.Sprintf("extra: cost-based algorithm selection (doc=%gMB)", mb))
+	h.figName = "auto"
+	d := h.doc(mb)
+	h.row("query", "K", "DPO_ms", "SSO_ms", "Hybrid_ms", "Auto_ms", "best_ms", "ratio", "chosen")
+	for _, w := range []workload{xq1, xq2, xq3} {
+		for _, k := range []int{50, 200, 600} {
+			dpo, _ := h.measure(d, w, flexpath.DPO, k)
+			sso, _ := h.measure(d, w, flexpath.SSO, k)
+			hyb, _ := h.measure(d, w, flexpath.Hybrid, k)
+			auto, ma := h.measure(d, w, flexpath.Auto, k)
+			best := dpo
+			if sso < best {
+				best = sso
+			}
+			if hyb < best {
+				best = hyb
+			}
+			h.row(w.name, k, ms(dpo), ms(sso), ms(hyb), ms(auto),
+				ms(best), ms(auto)/ms(best), ma.Algorithm)
+		}
+	}
+}
+
+// figGate is NOT a figure of the paper: it is the pinned workload the CI
+// perf-regression gate times (see cmd/benchdiff and bench_baseline.json).
+// Small document, short K sweep, every algorithm including Auto — fast
+// enough for CI yet covering each execution strategy the planner can
+// dispatch to.
+func (h *harness) figGate() {
+	// 2 MB and K >= 100 keep every row above ~0.5 ms: sub-0.2 ms rows
+	// are dominated by scheduler noise and would flap the gate.
+	mb := 2.0
+	h.header(23, fmt.Sprintf("extra: CI perf gate workload (doc=%gMB)", mb))
+	h.figName = "gate"
+	d := h.doc(mb)
+	h.row("query", "K", "DPO_ms", "SSO_ms", "Hybrid_ms", "Auto_ms")
+	for _, w := range []workload{xq1, xq2} {
+		for _, k := range []int{100, 400} {
+			dpo, _ := h.measure(d, w, flexpath.DPO, k)
+			sso, _ := h.measure(d, w, flexpath.SSO, k)
+			hyb, _ := h.measure(d, w, flexpath.Hybrid, k)
+			auto, _ := h.measure(d, w, flexpath.Auto, k)
+			h.row(w.name, k, ms(dpo), ms(sso), ms(hyb), ms(auto))
+		}
+	}
+}
+
 func main() {
-	fig := flag.String("fig", "all", "figure to run: 9..18, cache, parallel, obs, or all")
+	fig := flag.String("fig", "all", "figure to run: 9..18, cache, parallel, obs, auto, gate, or all")
 	full := flag.Bool("full", false, "use the paper's document sizes (1-100 MB); slow")
 	runs := flag.Int("runs", 3, "timed runs per point (median reported)")
 	csv := flag.Bool("csv", false, "CSV output")
@@ -621,6 +677,8 @@ func main() {
 		"cache":    h.figCache,
 		"parallel": h.figParallel,
 		"obs":      h.figObs,
+		"auto":     h.figAuto,
+		"gate":     h.figGate,
 	}
 	switch {
 	case *fig == "all":
@@ -630,13 +688,14 @@ func main() {
 		h.figCache()
 		h.figParallel()
 		h.figObs()
+		h.figAuto()
 	case named[*fig] != nil:
 		named[*fig]()
 	default:
 		n, err := strconv.Atoi(*fig)
 		if err != nil || figs[n] == nil {
 			fmt.Fprintf(os.Stderr,
-				"flexbench: unknown figure %q (want 9..18, cache, parallel, obs, or all)\n", *fig)
+				"flexbench: unknown figure %q (want 9..18, cache, parallel, obs, auto, gate, or all)\n", *fig)
 			os.Exit(2)
 		}
 		figs[n]()

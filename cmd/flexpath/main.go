@@ -16,7 +16,7 @@
 // The interactive shell accepts a query per line plus commands:
 //
 //	\k N           set top-K
-//	\algo NAME     dpo | sso | hybrid | datarelax
+//	\algo NAME     auto | dpo | sso | hybrid | datarelax
 //	\scheme NAME   structure-first | keyword-first | combined
 //	\explain Q     print the relaxation chain of Q
 //	\plan Q        print the evaluation plan of Q
@@ -54,7 +54,7 @@ func main() {
 	docPath := flag.String("doc", "", "XML document to query (required)")
 	queryStr := flag.String("query", "", "tree pattern query")
 	k := flag.Int("k", 10, "number of answers")
-	algoStr := flag.String("algo", "hybrid", "algorithm: dpo, sso, hybrid, or datarelax")
+	algoStr := flag.String("algo", "auto", "algorithm: auto (cost-based), dpo, sso, hybrid, or datarelax")
 	schemeStr := flag.String("scheme", "structure-first", "ranking scheme: structure-first, keyword-first, combined")
 	explain := flag.Bool("explain", false, "print the relaxation chain instead of searching")
 	plan := flag.Bool("plan", false, "print the evaluation plan instead of searching")
@@ -151,7 +151,11 @@ func (s *session) search(src string) error {
 			fmt.Fprintf(s.out, "     %s\n", a.Snippet(s.snippet))
 		}
 	}
-	fmt.Fprintf(s.errOut, "%d answers in %v (%s, %s)\n", len(answers), elapsed.Round(time.Microsecond), s.algo, s.scheme)
+	algoName := s.algo.String()
+	if s.algo == flexpath.Auto && m.Algorithm != "" {
+		algoName = "auto→" + m.Algorithm
+	}
+	fmt.Fprintf(s.errOut, "%d answers in %v (%s, %s)\n", len(answers), elapsed.Round(time.Microsecond), algoName, s.scheme)
 	if s.metrics {
 		fmt.Fprintf(s.errOut, "metrics: %+v\n", m)
 	}
@@ -183,6 +187,10 @@ func (s *session) printJSON(answers []flexpath.Answer, elapsed time.Duration, m 
 		ElapsedMS: float64(elapsed) / 1e6,
 		Algorithm: s.algo.String(),
 		Scheme:    s.scheme.String(),
+	}
+	if s.algo == flexpath.Auto && m.Algorithm != "" {
+		// Name the algorithm the planner actually dispatched to.
+		res.Algorithm = m.Algorithm
 	}
 	if s.metrics {
 		res.Metrics = &m

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"time"
 
@@ -174,9 +175,15 @@ type searchAnswer struct {
 }
 
 type searchResponse struct {
-	Query     string         `json:"query"`
-	Answers   []searchAnswer `json:"answers"`
-	ElapsedMS float64        `json:"elapsed_ms"`
+	Query string `json:"query"`
+	// Algo names the algorithm that evaluated the search: the planner's
+	// per-query choice under the default Auto mode (or "mixed" when
+	// member documents chose differently), the requested algorithm
+	// otherwise. AlgoReason carries the planner's explanation.
+	Algo       string         `json:"algo,omitempty"`
+	AlgoReason string         `json:"algo_reason,omitempty"`
+	Answers    []searchAnswer `json:"answers"`
+	ElapsedMS  float64        `json:"elapsed_ms"`
 }
 
 func (h *handler) search(w http.ResponseWriter, r *http.Request) {
@@ -204,6 +211,8 @@ func (h *handler) search(w http.ResponseWriter, r *http.Request) {
 	span.Rec(obs.StageParse, parseDur)
 	ctx = obs.WithSpan(ctx, span)
 
+	var m flexpath.Metrics
+	opts.Metrics = &m
 	start := time.Now()
 	answers, err := h.coll.SearchContext(ctx, q, opts)
 	status, spanStatus := searchStatus(err)
@@ -213,9 +222,11 @@ func (h *handler) search(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := searchResponse{
-		Query:     q.String(),
-		ElapsedMS: float64(time.Since(start)) / 1e6,
-		Answers:   make([]searchAnswer, 0, len(answers)),
+		Query:      q.String(),
+		Algo:       m.Algorithm,
+		AlgoReason: m.AlgoReason,
+		ElapsedMS:  float64(time.Since(start)) / 1e6,
+		Answers:    make([]searchAnswer, 0, len(answers)),
 	}
 	for i, a := range answers {
 		sa := searchAnswer{
@@ -303,6 +314,9 @@ type statsResponse struct {
 	// sums the per-document caches. Omitted when caching is disabled.
 	Cache    *flexpath.CacheStats `json:"cache,omitempty"`
 	DocCache *flexpath.CacheStats `json:"doc_cache,omitempty"`
+	// Planner aggregates the per-document cost-based planner state
+	// behind the Auto algorithm.
+	Planner flexpath.PlannerStats `json:"planner"`
 }
 
 func (h *handler) stats(w http.ResponseWriter, _ *http.Request) {
@@ -321,6 +335,7 @@ func (h *handler) stats(w http.ResponseWriter, _ *http.Request) {
 	if ds, ok := h.coll.DocumentCacheStats(); ok {
 		resp.DocCache = &ds
 	}
+	resp.Planner = h.coll.PlannerStats()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -368,6 +383,34 @@ func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	for _, row := range rows {
 		fmt.Fprintf(w, "flexpath_cache_capacity{cache=%q} %d\n", row.name, row.cs.Capacity)
 	}
+
+	ps := h.coll.PlannerStats()
+	fmt.Fprintln(w, "# HELP flexpath_planner_choices_total Auto-mode dispatches by chosen algorithm.")
+	fmt.Fprintln(w, "# TYPE flexpath_planner_choices_total counter")
+	for _, k := range sortedKeys(ps.Choices) {
+		fmt.Fprintf(w, "flexpath_planner_choices_total{algo=%q} %d\n", k, ps.Choices[k])
+	}
+	fmt.Fprintln(w, "# HELP flexpath_planner_reasons_total Auto-mode decisions by reason.")
+	fmt.Fprintln(w, "# TYPE flexpath_planner_reasons_total counter")
+	for _, k := range sortedKeys(ps.Reasons) {
+		fmt.Fprintf(w, "flexpath_planner_reasons_total{reason=%q} %d\n", k, ps.Reasons[k])
+	}
+	fmt.Fprintln(w, "# HELP flexpath_planner_ns_per_unit Calibrated nanoseconds per predicted work unit.")
+	fmt.Fprintln(w, "# TYPE flexpath_planner_ns_per_unit gauge")
+	for _, k := range sortedKeys(ps.NsPerUnit) {
+		fmt.Fprintf(w, "flexpath_planner_ns_per_unit{algo=%q} %g\n", k, ps.NsPerUnit[k])
+	}
+	fmt.Fprintln(w, "# HELP flexpath_planner_calibration_error Mean absolute log-ratio of actual to predicted run time (0 = exact).")
+	fmt.Fprintln(w, "# TYPE flexpath_planner_calibration_error gauge")
+	for _, k := range sortedKeys(ps.CalibrationError) {
+		fmt.Fprintf(w, "flexpath_planner_calibration_error{algo=%q} %g\n", k, ps.CalibrationError[k])
+	}
+	fmt.Fprintln(w, "# HELP flexpath_planner_restart_rate EWMA of restarts per plan-based Auto run (feeds the DPO demotion guard).")
+	fmt.Fprintln(w, "# TYPE flexpath_planner_restart_rate gauge")
+	fmt.Fprintf(w, "flexpath_planner_restart_rate %g\n", ps.RestartRate)
+	fmt.Fprintln(w, "# HELP flexpath_planner_observations_total Auto runs that fed the planner's calibrator.")
+	fmt.Fprintln(w, "# TYPE flexpath_planner_observations_total counter")
+	fmt.Fprintf(w, "flexpath_planner_observations_total %d\n", ps.Observations)
 
 	fmt.Fprintln(w, "# HELP flexpath_documents Documents being served.")
 	fmt.Fprintln(w, "# TYPE flexpath_documents gauge")
@@ -458,3 +501,14 @@ func (h *handler) slowlog(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *handler) docNames() []string { return h.coll.Names() }
+
+// sortedKeys returns a map's keys in sorted order, for deterministic
+// metric rendering.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

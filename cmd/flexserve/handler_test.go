@@ -243,8 +243,10 @@ func TestMetricsEndpoint(t *testing.T) {
 	srv := httptest.NewServer(newHandler(coll))
 	defer srv.Close()
 
-	// Two identical searches: one miss, one collection-cache hit.
-	url := srv.URL + "/search?q=" + escape(serveQuery) + "&k=5"
+	// Two identical searches: one miss, one collection-cache hit. The
+	// algorithm is pinned so the expected metric labels are stable (the
+	// default Auto mode labels spans "Auto" and chooses per query).
+	url := srv.URL + "/search?q=" + escape(serveQuery) + "&k=5&algo=hybrid"
 	for i := 0; i < 2; i++ {
 		if resp, body := get(t, url); resp.StatusCode != http.StatusOK {
 			t.Fatalf("search %d: status %d: %s", i, resp.StatusCode, body)
@@ -279,7 +281,7 @@ func TestMetricsEndpoint(t *testing.T) {
 
 func TestSlowlogEndpoint(t *testing.T) {
 	srv := testServer(t)
-	if resp, body := get(t, srv.URL+"/search?q="+escape(serveQuery)+"&k=5"); resp.StatusCode != http.StatusOK {
+	if resp, body := get(t, srv.URL+"/search?q="+escape(serveQuery)+"&k=5&algo=hybrid"); resp.StatusCode != http.StatusOK {
 		t.Fatalf("search: status %d: %s", resp.StatusCode, body)
 	}
 	resp, body := get(t, srv.URL+"/slowlog?n=10")
@@ -339,4 +341,62 @@ func escape(s string) string {
 		" ", "%20", `"`, "%22", "[", "%5B", "]", "%5D", "/", "%2F", "<", "%3C", ">", "%3E", "#", "%23", "&", "%26", "+", "%2B",
 	)
 	return r.Replace(s)
+}
+
+// TestPlannerObservability: a default (Auto) search must surface the
+// planner's choice in the response, in /stats, and in /metrics.
+func TestPlannerObservability(t *testing.T) {
+	srv := testServer(t)
+	resp, body := get(t, srv.URL+"/search?q="+escape(serveQuery)+"&k=5")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out searchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	switch out.Algo {
+	case "DPO", "SSO", "Hybrid":
+	default:
+		t.Errorf("search response algo = %q", out.Algo)
+	}
+	if out.AlgoReason == "" {
+		t.Error("search response has no algo_reason")
+	}
+
+	resp, body = get(t, srv.URL+"/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d: %s", resp.StatusCode, body)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("bad stats JSON: %v\n%s", err, body)
+	}
+	if st.Planner.Observations == 0 {
+		t.Errorf("planner stats not populated: %+v", st.Planner)
+	}
+	if st.Planner.Choices[out.Algo] == 0 {
+		t.Errorf("planner choices missing %q: %+v", out.Algo, st.Planner.Choices)
+	}
+
+	resp, body = get(t, srv.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`flexpath_planner_choices_total{algo="` + out.Algo + `"} 1`,
+		`flexpath_planner_observations_total 1`,
+		`flexpath_planner_restart_rate`,
+		`flexpath_planner_ns_per_unit{algo="` + out.Algo + `"}`,
+		`flexpath_planner_calibration_error{algo="` + out.Algo + `"}`,
+		`flexpath_queries_total{algo="Auto",scheme="structure-first",status="ok"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Errorf("exposition invalid: %v", err)
+	}
 }

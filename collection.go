@@ -309,6 +309,64 @@ func (m *Metrics) add(o Metrics) {
 	m.SortedTuples += o.SortedTuples
 	m.Buckets += o.Buckets
 	m.PairsMaterialized += o.PairsMaterialized
+	// Each member document plans for itself: when they agree the merged
+	// metrics name the common algorithm, otherwise "mixed".
+	if o.Algorithm != "" {
+		switch m.Algorithm {
+		case "":
+			m.Algorithm, m.AlgoReason = o.Algorithm, o.AlgoReason
+		case o.Algorithm:
+		default:
+			m.Algorithm, m.AlgoReason = "mixed", ""
+		}
+	}
+}
+
+// PlannerStats aggregates the member documents' planner state: counters
+// sum; the calibration scales, calibration errors and the restart rate
+// average over the documents that have observed at least one Auto run.
+func (c *Collection) PlannerStats() PlannerStats {
+	agg := PlannerStats{
+		Choices:          map[string]uint64{},
+		Reasons:          map[string]uint64{},
+		NsPerUnit:        map[string]float64{},
+		CalibrationError: map[string]float64{},
+	}
+	nsN := map[string]int{}
+	errN := map[string]int{}
+	restartN := 0
+	for _, d := range c.docs {
+		s := d.PlannerStats()
+		for k, v := range s.Choices {
+			agg.Choices[k] += v
+		}
+		for k, v := range s.Reasons {
+			agg.Reasons[k] += v
+		}
+		for k, v := range s.NsPerUnit {
+			agg.NsPerUnit[k] += v
+			nsN[k]++
+		}
+		for k, v := range s.CalibrationError {
+			agg.CalibrationError[k] += v
+			errN[k]++
+		}
+		if s.Observations > 0 {
+			agg.RestartRate += s.RestartRate
+			restartN++
+		}
+		agg.Observations += s.Observations
+	}
+	for k, n := range nsN {
+		agg.NsPerUnit[k] /= float64(n)
+	}
+	for k, n := range errN {
+		agg.CalibrationError[k] /= float64(n)
+	}
+	if restartN > 0 {
+		agg.RestartRate /= float64(restartN)
+	}
+	return agg
 }
 
 // LoadCollectionFiles builds a collection from XML files.

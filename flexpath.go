@@ -42,6 +42,7 @@ import (
 	"flexpath/internal/exec"
 	"flexpath/internal/ir"
 	"flexpath/internal/obs"
+	"flexpath/internal/planner"
 	"flexpath/internal/qcache"
 	"flexpath/internal/rank"
 	"flexpath/internal/stats"
@@ -53,9 +54,15 @@ import (
 type Algorithm int
 
 const (
-	// Hybrid is the default: SSO's single-plan evaluation with
-	// bucketized (never resorted) intermediate answers.
-	Hybrid Algorithm = iota
+	// Auto is the default: a cost-based planner predicts the evaluation
+	// cost of DPO, SSO and Hybrid for each query and dispatches to the
+	// winner, calibrating its model from observed run times. The answers
+	// are identical to any fixed choice; Metrics.Algorithm reports which
+	// algorithm ran, and PlannerStats exposes the planner's state.
+	Auto Algorithm = iota
+	// Hybrid is SSO's single-plan evaluation with bucketized (never
+	// resorted) intermediate answers.
+	Hybrid
 	// SSO encodes estimator-chosen relaxations into a single plan with
 	// score-sorted intermediate answers.
 	SSO
@@ -65,13 +72,15 @@ const (
 	// APPROXML): materialize the document's shortcut-edge closure and
 	// evaluate the original query over it. It fails on large documents
 	// (the materialization exceeds its budget), reproducing the
-	// behavior the paper reports for this strategy.
+	// behavior the paper reports for this strategy. Auto never picks it.
 	DataRelaxation
 )
 
 // String implements fmt.Stringer.
 func (a Algorithm) String() string {
 	switch a {
+	case Hybrid:
+		return "Hybrid"
 	case SSO:
 		return "SSO"
 	case DPO:
@@ -79,13 +88,15 @@ func (a Algorithm) String() string {
 	case DataRelaxation:
 		return "DataRelaxation"
 	default:
-		return "Hybrid"
+		return "Auto"
 	}
 }
 
 // ParseAlgorithm parses an algorithm name.
 func ParseAlgorithm(s string) (Algorithm, error) {
 	switch strings.ToLower(s) {
+	case "auto":
+		return Auto, nil
 	case "hybrid":
 		return Hybrid, nil
 	case "sso":
@@ -222,6 +233,9 @@ type Document struct {
 	stats *stats.Stats
 	est   *stats.Estimator
 	ev    *exec.Evaluator
+	// pl is the document's cost-based planner: Auto searches consult it
+	// and feed their observed run times back into its calibrator.
+	pl *planner.Planner
 
 	mu     sync.Mutex
 	chains map[string]*core.Chain
@@ -353,11 +367,13 @@ func newDocument(t *xmltree.Document, o DocumentOptions) *Document {
 	}
 	ix := ir.NewIndexOptions(t, iopt)
 	st := stats.Collect(t)
+	est := stats.NewEstimator(st, ix)
 	return &Document{
 		tree:   t,
 		index:  ix,
 		stats:  st,
-		est:    stats.NewEstimator(st, ix),
+		est:    est,
+		pl:     planner.New(est),
 		ev:     exec.NewEvaluator(t, ix),
 		chains: make(map[string]*core.Chain),
 	}
@@ -427,10 +443,20 @@ type Metrics struct {
 	SortedTuples       int
 	Buckets            int
 	PairsMaterialized  int
+	// Algorithm names the algorithm that evaluated the search — under
+	// Auto, the planner's per-query choice; otherwise the requested
+	// algorithm. Collection searches whose member documents chose
+	// differently report "mixed". Cache hits report the algorithm that
+	// produced the cached result.
+	Algorithm string
+	// AlgoReason explains an Auto choice (the planner's predicted level,
+	// costs and reason key); empty for fixed algorithms.
+	AlgoReason string
 }
 
 // SearchOptions configures Search. The zero value asks for the top 10
-// answers with the Hybrid algorithm under the structure-first scheme.
+// answers with the Auto algorithm (cost-based per-query choice among
+// DPO, SSO and Hybrid) under the structure-first scheme.
 type SearchOptions struct {
 	K int
 	// Offset skips the first Offset answers of the ranking (pagination):
@@ -503,12 +529,15 @@ func (d *Document) SearchContext(ctx context.Context, q *Query, opts SearchOptio
 		}
 		if ok {
 			span.MarkCacheHit()
-			// A hit performs no evaluation work, so the counters report
-			// zero; cache effectiveness is reported via CacheStats.
+			cs := v.(cachedSearch)
+			// A hit performs no evaluation work, so the work counters
+			// report zero (cache effectiveness is reported via
+			// CacheStats); the algorithm that produced the cached result
+			// is still named.
 			if opts.Metrics != nil {
-				*opts.Metrics = Metrics{}
+				*opts.Metrics = Metrics{Algorithm: cs.algo, AlgoReason: cs.reason}
 			}
-			return d.buildAnswers(q, v.([]topkResult), opts), nil
+			return d.buildAnswers(q, cs.results, opts), nil
 		}
 	}
 
@@ -525,7 +554,10 @@ func (d *Document) SearchContext(ctx context.Context, q *Query, opts SearchOptio
 	}
 	topts := topkOptions(ctx, opts)
 	var results []topkResult
+	algoName, algoReason := opts.Algorithm.String(), ""
 	switch opts.Algorithm {
+	case Hybrid:
+		results = runHybrid(d, chain, topts)
 	case DPO:
 		results = runDPO(d, chain, topts)
 	case SSO:
@@ -535,8 +567,10 @@ func (d *Document) SearchContext(ctx context.Context, q *Query, opts SearchOptio
 		if err != nil {
 			return nil, err
 		}
-	default:
-		results = runHybrid(d, chain, topts)
+	default: // Auto
+		var choice planner.Choice
+		results, choice = runAuto(d, chain, topts)
+		algoName, algoReason = choice.Algo.String(), choice.Explain
 	}
 	// A cancelled run returns truncated results; surface the error
 	// instead of caching or reporting them.
@@ -546,11 +580,52 @@ func (d *Document) SearchContext(ctx context.Context, q *Query, opts SearchOptio
 	span.SetRelaxations(topts.opts.Metrics.RelaxationsEncoded)
 	if opts.Metrics != nil {
 		*opts.Metrics = topts.export()
+		opts.Metrics.Algorithm = algoName
+		opts.Metrics.AlgoReason = algoReason
 	}
 	if useCache {
-		qc.Put(key, results)
+		qc.Put(key, cachedSearch{results: results, algo: algoName, reason: algoReason})
 	}
 	return d.buildAnswers(q, results, opts), nil
+}
+
+// cachedSearch is a document-cache entry: the result set plus the
+// algorithm that produced it, so cache hits can still name it.
+type cachedSearch struct {
+	results []topkResult
+	algo    string
+	reason  string
+}
+
+// PlannerStats snapshots the cost-based planner behind Auto searches:
+// per-algorithm choice and reason counters, the calibrated
+// nanoseconds-per-unit scales with their current calibration error, and
+// the restart-rate EWMA feeding the guard that demotes plan-based
+// choices to DPO. See internal/planner for the model.
+type PlannerStats struct {
+	Choices          map[string]uint64  `json:"choices"`
+	Reasons          map[string]uint64  `json:"reasons"`
+	NsPerUnit        map[string]float64 `json:"ns_per_unit"`
+	CalibrationError map[string]float64 `json:"calibration_error"`
+	RestartRate      float64            `json:"restart_rate"`
+	Observations     uint64             `json:"observations"`
+}
+
+// PlannerStats reports the document's planner state. All-empty maps and
+// zero counters mean no Auto search has run yet.
+func (d *Document) PlannerStats() PlannerStats {
+	return plannerStatsFrom(d.pl.Snapshot())
+}
+
+func plannerStatsFrom(s planner.Stats) PlannerStats {
+	return PlannerStats{
+		Choices:          s.Choices,
+		Reasons:          s.Reasons,
+		NsPerUnit:        s.NsPerUnit,
+		CalibrationError: s.CalibrationError,
+		RestartRate:      s.RestartRate,
+		Observations:     s.Observations,
+	}
 }
 
 // buildAnswers converts internal results into public answers, applying

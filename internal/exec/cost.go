@@ -1,0 +1,39 @@
+package exec
+
+// CostEstimate summarizes the statically knowable cost drivers of a
+// plan, before any join runs. The cost-based planner combines it with
+// selectivity estimates to price the plan-based algorithms.
+type CostEstimate struct {
+	// Candidates is the summed per-variable candidate-list size bound:
+	// nodes carrying the variable's tag (or any hierarchy subtype),
+	// capped by the cheapest required contains predicate — the same
+	// witness-first bound evaluateLeaf exploits.
+	Candidates float64
+	// Vars counts plan variables; OptionalVars counts the optional tail
+	// (variables whose connecting predicates were all relaxed away).
+	Vars         int
+	OptionalVars int
+}
+
+// EstimateCost computes a plan's static cost inputs.
+func EstimateCost(p *Plan) CostEstimate {
+	ce := CostEstimate{Vars: len(p.Vars), OptionalVars: len(p.Vars) - p.FirstOptional}
+	for i := range p.Vars {
+		v := &p.Vars[i]
+		n := 0
+		if len(v.Tags) > 0 {
+			for _, t := range v.Tags {
+				n += len(p.Doc.NodesWithTag(t))
+			}
+		} else {
+			n = len(p.Doc.NodesWithTag(v.Tag))
+		}
+		for _, c := range v.Contains {
+			if c.Required && c.Res.Len() < n {
+				n = c.Res.Len()
+			}
+		}
+		ce.Candidates += float64(n)
+	}
+	return ce
+}

@@ -41,6 +41,8 @@ const (
 	StageMerge
 	// StageCache covers query-result cache lookups.
 	StageCache
+	// StagePlan covers the cost-based algorithm choice of Auto searches.
+	StagePlan
 	// NumStages is the number of stages.
 	NumStages int = iota
 )
@@ -58,6 +60,8 @@ func (s Stage) String() string {
 		return "merge"
 	case StageCache:
 		return "cache"
+	case StagePlan:
+		return "plan"
 	}
 	return "unknown"
 }

@@ -67,7 +67,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		writeHistogram(w, "flexpath_query_duration_seconds", "algo", a, hists[i])
 	}
 
-	fmt.Fprintln(w, "# HELP flexpath_stage_duration_seconds Per-stage evaluation time (parse, chain, join, merge, cache).")
+	fmt.Fprintln(w, "# HELP flexpath_stage_duration_seconds Per-stage evaluation time (parse, chain, join, merge, cache, plan).")
 	fmt.Fprintln(w, "# TYPE flexpath_stage_duration_seconds histogram")
 	for i, s := range r.StageLatency() {
 		writeHistogram(w, "flexpath_stage_duration_seconds", "stage", Stage(i).String(), s)

@@ -1,0 +1,41 @@
+package topk
+
+import (
+	"time"
+
+	"flexpath/internal/core"
+	"flexpath/internal/exec"
+	"flexpath/internal/obs"
+	"flexpath/internal/planner"
+	"flexpath/internal/stats"
+)
+
+// Auto dispatches one search to DPO, SSO or Hybrid — whichever the
+// cost-based planner predicts cheapest for this query and K — and feeds
+// the observed run time and restart count back into the planner's
+// calibrator. The answers are identical to those of any fixed algorithm;
+// only the evaluation cost (and the DPO-vs-plan difference in per-answer
+// relaxation detail) depends on the choice. Planning time is recorded
+// under obs.StagePlan.
+func Auto(ev *exec.Evaluator, chain *core.Chain, est *stats.Estimator, pl *planner.Planner, opts Options) ([]Result, planner.Choice) {
+	tPlan := time.Now()
+	choice := pl.Choose(chain, opts.K, opts.Scheme)
+	opts.Span.Rec(obs.StagePlan, time.Since(tPlan))
+
+	start := time.Now()
+	var results []Result
+	switch choice.Algo {
+	case planner.DPO:
+		results = DPO(ev, chain, opts)
+	case planner.SSO:
+		results = SSO(chain, est, opts)
+	default:
+		results = Hybrid(chain, est, opts)
+	}
+	// A cancelled run is truncated: its wall time says nothing about the
+	// algorithm's true cost, so it must not calibrate the model.
+	if !opts.cancelled() {
+		pl.Observe(choice, time.Since(start), opts.metrics().Restarts)
+	}
+	return results, choice
+}

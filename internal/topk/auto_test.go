@@ -1,0 +1,122 @@
+package topk
+
+import (
+	"testing"
+
+	"flexpath/internal/planner"
+	"flexpath/internal/rank"
+)
+
+// TestAutoMatchesChosenAlgorithm: Auto must return exactly what the
+// algorithm it dispatched to would have returned.
+func TestAutoMatchesChosenAlgorithm(t *testing.T) {
+	fixtures := map[string]*fixture{
+		"articles": newFixture(t, articlesXML),
+		"xmark":    xmarkFixture(t, 96<<10, 5),
+	}
+	queries := map[string][]string{
+		"articles": {srcQ1, `//article[./section/paragraph[.contains("xml")]]`},
+		"xmark": {
+			`//item[./description/parlist]`,
+			`//item[./description/parlist and ./mailbox/mail/text]`,
+		},
+	}
+	for name, f := range fixtures {
+		for _, src := range queries[name] {
+			c := f.chain(t, src)
+			for _, scheme := range schemes() {
+				for _, k := range []int{1, 5, 25} {
+					// A fresh planner per run keeps the choice static: no
+					// calibration drift between Auto and the replay below.
+					pl := planner.New(f.est)
+					got, choice := Auto(f.ev, c, f.est, pl, Options{K: k, Scheme: scheme})
+					var want []Result
+					switch choice.Algo {
+					case planner.DPO:
+						want = DPO(f.ev, c, Options{K: k, Scheme: scheme})
+					case planner.SSO:
+						want = SSO(c, f.est, Options{K: k, Scheme: scheme})
+					default:
+						want = Hybrid(c, f.est, Options{K: k, Scheme: scheme})
+					}
+					if len(got) != len(want) {
+						t.Fatalf("%s %s k=%d %v [%v]: Auto %d results, %v %d",
+							name, src, k, scheme, choice.Algo, len(got), choice.Algo, len(want))
+					}
+					for i := range got {
+						if got[i].Node != want[i].Node || got[i].Score != want[i].Score {
+							t.Errorf("%s %s k=%d %v [%v]: result %d differs: %+v vs %+v",
+								name, src, k, scheme, choice.Algo, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAutoObservesRuns: Auto must feed completed runs back into the
+// planner's calibrator.
+func TestAutoObservesRuns(t *testing.T) {
+	f := newFixture(t, articlesXML)
+	c := f.chain(t, srcQ1)
+	pl := planner.New(f.est)
+	for i := 0; i < 3; i++ {
+		Auto(f.ev, c, f.est, pl, Options{K: 3, Scheme: rank.StructureFirst})
+	}
+	s := pl.Snapshot()
+	if s.Observations != 3 {
+		t.Errorf("observations = %d, want 3", s.Observations)
+	}
+	total := uint64(0)
+	for _, n := range s.Choices {
+		total += n
+	}
+	if total != 3 {
+		t.Errorf("choices = %v, want 3 total", s.Choices)
+	}
+}
+
+// TestDPOVariantCountersAgree: plan-based and semijoin DPO walk the same
+// relaxation chain level by level, so their work counters must agree —
+// the same number of per-level queries evaluated and no restarts (DPO
+// never restarts; it stops at the admitting level). A past regression
+// had the plan-based variant counting a level as evaluated before plan
+// construction could fail.
+func TestDPOVariantCountersAgree(t *testing.T) {
+	fixtures := map[string]*fixture{
+		"articles": newFixture(t, articlesXML),
+		"xmark":    xmarkFixture(t, 96<<10, 5),
+	}
+	queries := map[string][]string{
+		"articles": {srcQ1, `//article[./section/paragraph[.contains("xml")]]`},
+		"xmark": {
+			`//item[./description/parlist]`,
+			`//item[./description/parlist and ./mailbox/mail/text]`,
+		},
+	}
+	for name, f := range fixtures {
+		for _, src := range queries[name] {
+			c := f.chain(t, src)
+			for _, scheme := range schemes() {
+				for _, k := range []int{1, 5, 40} {
+					var ma, mb Metrics
+					DPO(f.ev, c, Options{K: k, Scheme: scheme, Metrics: &ma})
+					DPOSemijoin(f.ev, c, Options{K: k, Scheme: scheme, Metrics: &mb})
+					if ma.QueriesEvaluated != mb.QueriesEvaluated {
+						t.Errorf("%s %s k=%d %v: QueriesEvaluated %d (plan) vs %d (semijoin)",
+							name, src, k, scheme, ma.QueriesEvaluated, mb.QueriesEvaluated)
+					}
+					if ma.RelaxationsEncoded != mb.RelaxationsEncoded {
+						t.Errorf("%s %s k=%d %v: RelaxationsEncoded %d (plan) vs %d (semijoin)",
+							name, src, k, scheme, ma.RelaxationsEncoded, mb.RelaxationsEncoded)
+					}
+					if ma.Restarts != 0 || mb.Restarts != 0 {
+						t.Errorf("%s %s k=%d %v: DPO reported restarts: %d (plan), %d (semijoin)",
+							name, src, k, scheme, ma.Restarts, mb.Restarts)
+					}
+				}
+			}
+		}
+	}
+}

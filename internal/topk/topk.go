@@ -152,10 +152,22 @@ func dpo(ev *exec.Evaluator, chain *core.Chain, opts Options, semijoin bool) []R
 			return nil
 		}
 		q := chain.QueryAt(level)
-		m.QueriesEvaluated++
-		m.RelaxationsEncoded = level
 		var block []Result
 		ss := chain.SSAt(level)
+		var plan *exec.Plan
+		if !semijoin {
+			var err error
+			plan, err = chain.ExactPlanAt(level)
+			if err != nil {
+				// A level whose plan cannot be built was never evaluated:
+				// bail before touching the work counters, so DPO and
+				// DPOSemijoin report identical QueriesEvaluated for the
+				// levels both actually ran.
+				return nil
+			}
+		}
+		m.QueriesEvaluated++
+		m.RelaxationsEncoded = level
 		if semijoin {
 			var ok [][]xmltree.NodeID
 			opts.timeJoin(func() { ok = ev.EvaluateFull(q) })
@@ -174,10 +186,6 @@ func dpo(ev *exec.Evaluator, chain *core.Chain, opts Options, semijoin bool) []R
 				}
 			}
 		} else {
-			plan, err := chain.ExactPlanAt(level)
-			if err != nil {
-				return nil
-			}
 			// Answers found at previous levels are excluded inside the
 			// plan (not just post-hoc), so each level's pass only
 			// explores data that can still produce new answers —

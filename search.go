@@ -6,6 +6,7 @@ import (
 	"flexpath/internal/core"
 	"flexpath/internal/exec"
 	"flexpath/internal/obs"
+	"flexpath/internal/planner"
 	"flexpath/internal/rank"
 	"flexpath/internal/topk"
 )
@@ -64,6 +65,13 @@ func runSSO(d *Document, chain *core.Chain, b *bridgeOptions) []topkResult {
 
 func runHybrid(d *Document, chain *core.Chain, b *bridgeOptions) []topkResult {
 	return topk.Hybrid(chain, d.est, b.opts)
+}
+
+// runAuto dispatches through the document's cost-based planner and
+// returns the choice alongside the results, so the public layer can
+// report which algorithm ran and why.
+func runAuto(d *Document, chain *core.Chain, b *bridgeOptions) ([]topkResult, planner.Choice) {
+	return topk.Auto(d.ev, chain, d.est, d.pl, b.opts)
 }
 
 func explainPlan(d *Document, chain *core.Chain, b *bridgeOptions) (string, error) {

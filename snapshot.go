@@ -12,6 +12,7 @@ import (
 	"flexpath/internal/core"
 	"flexpath/internal/exec"
 	"flexpath/internal/ir"
+	"flexpath/internal/planner"
 	"flexpath/internal/stats"
 	"flexpath/internal/xmltree"
 )
@@ -115,11 +116,13 @@ func LoadIndexedSnapshot(r io.Reader) (*Document, error) {
 	if err != nil {
 		return nil, err
 	}
+	est := stats.NewEstimator(st, ix)
 	return &Document{
 		tree:   tree,
 		index:  ix,
 		stats:  st,
-		est:    stats.NewEstimator(st, ix),
+		est:    est,
+		pl:     planner.New(est),
 		ev:     exec.NewEvaluator(tree, ix),
 		chains: make(map[string]*core.Chain),
 	}, nil

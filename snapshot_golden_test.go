@@ -1,0 +1,70 @@
+package flexpath
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata golden fixtures instead of checking against them")
+
+const goldenSnapshotPath = "testdata/golden_indexed.fxp2"
+
+// TestGoldenIndexedSnapshot pins the FXP2 on-disk format: the
+// checked-in fixture was written by an earlier build, and
+// LoadIndexedSnapshot must keep reading it byte for byte. A format
+// change that can still read old snapshots updates the fixture with
+//
+//	go test -run TestGoldenIndexedSnapshot -update-golden .
+//
+// A format change that cannot read it needs a new magic, not a fixture
+// refresh.
+func TestGoldenIndexedSnapshot(t *testing.T) {
+	if *updateGolden {
+		doc, err := LoadString(articlesXML)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenSnapshotPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := doc.SaveIndexedSnapshotFile(goldenSnapshotPath); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenSnapshotPath)
+		return
+	}
+	doc, err := LoadIndexedSnapshotFile(goldenSnapshotPath)
+	if err != nil {
+		t.Fatalf("cannot read golden snapshot (format broke?): %v", err)
+	}
+	if doc.Nodes() == 0 {
+		t.Fatal("golden snapshot restored an empty document")
+	}
+	// The restored document must be fully queryable: indexes, statistics
+	// and the planner all come off the snapshot path.
+	answers, err := doc.Search(MustParseQuery(paperQ1), SearchOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 3 {
+		t.Fatalf("answers = %d, want 3", len(answers))
+	}
+	if answers[0].ID != "a1" || answers[0].Relaxations != 0 {
+		t.Errorf("top answer: %+v", answers[0])
+	}
+	// And it must search identically to a fresh parse of the same XML.
+	fresh, err := LoadString(articlesXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Search(MustParseQuery(paperQ1), SearchOptions{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderAutoRanking(answers), renderAutoRanking(want); got != want {
+		t.Errorf("snapshot search differs from fresh parse:\n%s\nvs\n%s", got, want)
+	}
+}
