@@ -5,15 +5,28 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
 	"sort"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"flexpath"
 	"flexpath/internal/obs"
 )
+
+// serverMetrics are the serving-robustness counters exported as the
+// flexpath_server_* metric families: requests admitted and executing,
+// requests shed by the admission limit, and handler panics recovered
+// into 500s.
+type serverMetrics struct {
+	inFlight atomic.Int64
+	shed     atomic.Uint64
+	panics   atomic.Uint64
+}
 
 // handler serves the JSON API over a collection.
 type handler struct {
@@ -23,6 +36,11 @@ type handler struct {
 	timeout time.Duration
 	// reg aggregates per-query observability (never nil).
 	reg *obs.Registry
+	// sem, when non-nil, is the admission semaphore for query endpoints:
+	// its capacity is the max-in-flight limit, and a request that cannot
+	// acquire a slot immediately is shed with 503 + Retry-After.
+	sem chan struct{}
+	srv serverMetrics
 }
 
 // handlerConfig configures optional serving features.
@@ -34,6 +52,12 @@ type handlerConfig struct {
 	slowThreshold time.Duration
 	// pprof exposes net/http/pprof under /debug/pprof/.
 	pprof bool
+	// maxInFlight caps concurrently executing query requests (/search,
+	// /relaxations, /plan); excess requests are shed with 503.
+	// 0 means unlimited.
+	maxInFlight int
+	// admin exposes the corpus-mutation endpoints under /admin/.
+	admin bool
 }
 
 func newHandler(coll *flexpath.Collection) http.Handler {
@@ -54,9 +78,12 @@ func newHandlerConfig(coll *flexpath.Collection, cfg handlerConfig) (http.Handle
 		timeout: cfg.timeout,
 		reg:     obs.NewRegistry(cfg.slowCap, cfg.slowThreshold),
 	}
-	h.mux.HandleFunc("/search", h.search)
-	h.mux.HandleFunc("/relaxations", h.relaxations)
-	h.mux.HandleFunc("/plan", h.plan)
+	if cfg.maxInFlight > 0 {
+		h.sem = make(chan struct{}, cfg.maxInFlight)
+	}
+	h.mux.HandleFunc("/search", h.limited(h.search))
+	h.mux.HandleFunc("/relaxations", h.limited(h.relaxations))
+	h.mux.HandleFunc("/plan", h.limited(h.plan))
 	h.mux.HandleFunc("/stats", h.stats)
 	h.mux.HandleFunc("/metrics", h.metrics)
 	h.mux.HandleFunc("/slowlog", h.slowlog)
@@ -64,6 +91,11 @@ func newHandlerConfig(coll *flexpath.Collection, cfg handlerConfig) (http.Handle
 		w.WriteHeader(http.StatusOK)
 		w.Write([]byte("ok\n")) //nolint:errcheck
 	})
+	if cfg.admin {
+		h.mux.HandleFunc("/admin/add", h.adminAdd)
+		h.mux.HandleFunc("/admin/remove", h.adminRemove)
+		h.mux.HandleFunc("/admin/replace", h.adminReplace)
+	}
 	if cfg.pprof {
 		h.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		h.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -71,7 +103,51 @@ func newHandlerConfig(coll *flexpath.Collection, cfg handlerConfig) (http.Handle
 		h.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		h.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return h.mux, h.reg
+	return h, h.reg
+}
+
+// ServeHTTP dispatches through the mux under panic recovery: a panicking
+// handler produces a 500 and a counter increment instead of killing the
+// whole process (http.Server would otherwise only contain the panic to
+// the connection goroutine — and a panic should be visible in /metrics,
+// not just a log line).
+func (h *handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if p := recover(); p != nil {
+			h.srv.panics.Add(1)
+			log.Printf("flexserve: panic serving %s: %v\n%s", r.URL.Path, p, debug.Stack())
+			// Best effort: if the handler already wrote headers this is a
+			// no-op and the client sees a truncated response.
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: "internal server error"})
+		}
+	}()
+	h.mux.ServeHTTP(w, r)
+}
+
+// limited wraps a query endpoint with admission control: at most
+// maxInFlight requests execute concurrently, and excess load is shed
+// immediately with 503 + Retry-After rather than queued (queueing under
+// overload only grows latency until clients time out anyway). Operational
+// endpoints (/metrics, /healthz, /stats, /admin) bypass the limiter so
+// the server stays observable and manageable while saturated.
+func (h *handler) limited(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if h.sem != nil {
+			select {
+			case h.sem <- struct{}{}:
+				defer func() { <-h.sem }()
+			default:
+				h.srv.shed.Add(1)
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusServiceUnavailable,
+					errorBody{Error: "server overloaded: max in-flight queries reached, retry later"})
+				return
+			}
+		}
+		h.srv.inFlight.Add(1)
+		defer h.srv.inFlight.Add(-1)
+		next(w, r)
+	}
 }
 
 type errorBody struct {
@@ -412,6 +488,19 @@ func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "# TYPE flexpath_planner_observations_total counter")
 	fmt.Fprintf(w, "flexpath_planner_observations_total %d\n", ps.Observations)
 
+	fmt.Fprintln(w, "# HELP flexpath_server_inflight_requests Query requests admitted and currently executing.")
+	fmt.Fprintln(w, "# TYPE flexpath_server_inflight_requests gauge")
+	fmt.Fprintf(w, "flexpath_server_inflight_requests %d\n", h.srv.inFlight.Load())
+	fmt.Fprintln(w, "# HELP flexpath_server_max_inflight Configured admission limit for query requests (0 = unlimited).")
+	fmt.Fprintln(w, "# TYPE flexpath_server_max_inflight gauge")
+	fmt.Fprintf(w, "flexpath_server_max_inflight %d\n", cap(h.sem))
+	fmt.Fprintln(w, "# HELP flexpath_server_shed_total Query requests shed by the admission limit (503).")
+	fmt.Fprintln(w, "# TYPE flexpath_server_shed_total counter")
+	fmt.Fprintf(w, "flexpath_server_shed_total %d\n", h.srv.shed.Load())
+	fmt.Fprintln(w, "# HELP flexpath_server_panics_total Handler panics recovered into 500 responses.")
+	fmt.Fprintln(w, "# TYPE flexpath_server_panics_total counter")
+	fmt.Fprintf(w, "flexpath_server_panics_total %d\n", h.srv.panics.Load())
+
 	fmt.Fprintln(w, "# HELP flexpath_documents Documents being served.")
 	fmt.Fprintln(w, "# TYPE flexpath_documents gauge")
 	fmt.Fprintf(w, "flexpath_documents %d\n", h.coll.Len())
@@ -498,6 +587,98 @@ func (h *handler) slowlog(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// maxAdminBody bounds an /admin/add or /admin/replace document upload.
+const maxAdminBody = 64 << 20
+
+// adminResponse reports the corpus state after a mutation.
+type adminResponse struct {
+	Status    string `json:"status"`
+	Name      string `json:"name"`
+	Documents int    `json:"documents"`
+	Elements  int    `json:"elements"`
+}
+
+// adminName enforces the shared preconditions of the mutation endpoints:
+// POST only, with a non-empty name parameter.
+func adminName(w http.ResponseWriter, r *http.Request) (string, bool) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+		return "", false
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		badRequest(w, "missing name parameter")
+		return "", false
+	}
+	return name, true
+}
+
+// adminDoc parses the request body as an XML document (or snapshot-free
+// XML only: uploads are always parsed, never trusted as binary).
+func (h *handler) adminDoc(w http.ResponseWriter, r *http.Request) (*flexpath.Document, bool) {
+	doc, err := flexpath.Load(http.MaxBytesReader(w, r.Body, maxAdminBody))
+	if err != nil {
+		badRequest(w, "bad document: "+err.Error())
+		return nil, false
+	}
+	return doc, true
+}
+
+func (h *handler) adminOK(w http.ResponseWriter, name string) {
+	writeJSON(w, http.StatusOK, adminResponse{
+		Status: "ok", Name: name,
+		Documents: h.coll.Len(), Elements: h.coll.Nodes(),
+	})
+}
+
+// adminAdd inserts the posted XML document under ?name=.
+func (h *handler) adminAdd(w http.ResponseWriter, r *http.Request) {
+	name, ok := adminName(w, r)
+	if !ok {
+		return
+	}
+	doc, ok := h.adminDoc(w, r)
+	if !ok {
+		return
+	}
+	if err := h.coll.Add(name, doc); err != nil {
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+		return
+	}
+	h.adminOK(w, name)
+}
+
+// adminRemove deletes the document named by ?name=.
+func (h *handler) adminRemove(w http.ResponseWriter, r *http.Request) {
+	name, ok := adminName(w, r)
+	if !ok {
+		return
+	}
+	if err := h.coll.Remove(name); err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	h.adminOK(w, name)
+}
+
+// adminReplace swaps the document named by ?name= for the posted XML.
+func (h *handler) adminReplace(w http.ResponseWriter, r *http.Request) {
+	name, ok := adminName(w, r)
+	if !ok {
+		return
+	}
+	doc, ok := h.adminDoc(w, r)
+	if !ok {
+		return
+	}
+	if err := h.coll.Replace(name, doc); err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	h.adminOK(w, name)
 }
 
 func (h *handler) docNames() []string { return h.coll.Names() }

@@ -1,12 +1,15 @@
 // Command flexserve serves flexible top-K search over one or more XML
-// documents as a JSON HTTP API, with Prometheus-style observability.
+// documents as a JSON HTTP API, with Prometheus-style observability,
+// admission control and graceful shutdown.
 //
 // Usage:
 //
 //	flexserve -addr :8080 data1.xml data2.xml
 //	flexserve -addr :8080 -dir corpus/
 //	flexserve -cache 4096 -timeout 10s -slowlog 256 -slowms 100 data.xml
-//	flexserve -pprof data.xml   # also expose /debug/pprof/
+//	flexserve -maxinflight 64 -drain 15s data.xml   # shed overload, drain on SIGTERM
+//	flexserve -admin data.xml                        # expose /admin/ mutation endpoints
+//	flexserve -pprof data.xml                        # also expose /debug/pprof/
 //
 // Endpoints:
 //
@@ -16,19 +19,36 @@
 //	GET /stats
 //	GET /metrics       Prometheus text format: query counters by
 //	                   algorithm/scheme/status, latency and per-stage
-//	                   histograms, cache counters, in-flight gauge
+//	                   histograms, cache counters, in-flight/shed/panic
+//	                   server counters
 //	GET /slowlog?n=32  slowest recent queries with per-stage timings
 //	GET /healthz
+//
+// With -admin, the corpus can be mutated without a restart:
+//
+//	POST /admin/add?name=NAME       (XML document in the body)
+//	POST /admin/remove?name=NAME
+//	POST /admin/replace?name=NAME   (XML document in the body)
+//
+// Beyond -maxinflight concurrently executing queries, requests are shed
+// with 503 + Retry-After instead of queued. On SIGINT/SIGTERM the server
+// stops accepting connections, drains in-flight requests for up to
+// -drain, and exits.
 //
 // Documents may be XML files or binary snapshots (detected by magic).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"flexpath"
@@ -42,6 +62,9 @@ func main() {
 	slowCap := flag.Int("slowlog", 128, "slow-query log capacity in entries")
 	slowMS := flag.Int("slowms", 0, "only log queries at least this many milliseconds long (0 logs all)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	maxInFlight := flag.Int("maxinflight", 0, "max concurrently executing query requests; excess is shed with 503 (0 = unlimited)")
+	drain := flag.Duration("drain", 10*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
+	admin := flag.Bool("admin", false, "expose corpus mutation endpoints under /admin/")
 	flag.Parse()
 
 	coll := flexpath.NewCollection()
@@ -78,16 +101,55 @@ func main() {
 		slowCap:       *slowCap,
 		slowThreshold: time.Duration(*slowMS) * time.Millisecond,
 		pprof:         *pprofOn,
+		maxInFlight:   *maxInFlight,
+		admin:         *admin,
 	})
-	log.Printf("serving %d documents (%d elements) on %s (cache=%d, timeout=%v, slowlog=%d@%dms, pprof=%v)",
-		coll.Len(), coll.Nodes(), *addr, *cache, *timeout, *slowCap, *slowMS, *pprofOn)
+	log.Printf("serving %d documents (%d elements) on %s (cache=%d, timeout=%v, slowlog=%d@%dms, pprof=%v, maxinflight=%d, admin=%v)",
+		coll.Len(), coll.Nodes(), *addr, *cache, *timeout, *slowCap, *slowMS, *pprofOn, *maxInFlight, *admin)
 
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           h,
 		ReadTimeout:       10 * time.Second,
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      60 * time.Second,
 	}
-	log.Fatal(srv.ListenAndServe())
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if err := serve(srv, ln, sig, *drain); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// serve runs srv on ln until it fails or a shutdown signal arrives, then
+// gracefully drains: the listener closes immediately (new connections
+// are refused), in-flight requests get up to drain to finish, and only
+// then does serve return. A drain overrun force-closes remaining
+// connections and reports an error; a clean drain returns nil.
+//
+// The signal channel is a parameter so tests can drive the lifecycle
+// deterministically.
+func serve(srv *http.Server, ln net.Listener, sig <-chan os.Signal, drain time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case s := <-sig:
+		log.Printf("flexserve: received %v: refusing new connections, draining in-flight requests (deadline %v)", s, drain)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close()
+			return fmt.Errorf("flexserve: drain deadline exceeded: %w", err)
+		}
+		log.Print("flexserve: drained cleanly")
+		return nil
+	}
 }

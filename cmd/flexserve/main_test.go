@@ -1,0 +1,132 @@
+package main
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// drainFixture runs serve() over a handler whose /slow endpoint blocks
+// until released, so tests can hold a request in flight across the
+// shutdown signal deterministically.
+type drainFixture struct {
+	base    string
+	sig     chan os.Signal
+	started chan struct{} // closed when /slow is executing
+	release chan struct{} // close to let /slow finish
+	servErr chan error    // serve()'s return value
+}
+
+func startDrainFixture(t *testing.T, drain time.Duration) *drainFixture {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &drainFixture{
+		base:    "http://" + ln.Addr().String(),
+		sig:     make(chan os.Signal, 1),
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+		servErr: make(chan error, 1),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		close(f.started)
+		<-f.release
+		w.Write([]byte("done")) //nolint:errcheck
+	})
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok")) //nolint:errcheck
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { f.servErr <- serve(srv, ln, f.sig, drain) }()
+	return f
+}
+
+// A SIGTERM must stop accepting new connections immediately while the
+// in-flight request is allowed to finish within the drain deadline, and
+// serve() must then return cleanly.
+func TestServeDrainsInFlight(t *testing.T) {
+	f := startDrainFixture(t, 5*time.Second)
+
+	slowDone := make(chan string, 1)
+	go func() {
+		resp, err := http.Get(f.base + "/slow")
+		if err != nil {
+			slowDone <- "error: " + err.Error()
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		slowDone <- string(body)
+	}()
+	<-f.started
+
+	f.sig <- syscall.SIGTERM
+
+	// New connections are refused once the listener closes; poll until
+	// the shutdown has taken effect.
+	refused := false
+	for deadline := time.Now().Add(3 * time.Second); time.Now().Before(deadline); {
+		if _, err := http.Get(f.base + "/ok"); err != nil {
+			refused = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !refused {
+		t.Error("new connections still accepted after SIGTERM")
+	}
+
+	// The in-flight request survives the signal and completes.
+	close(f.release)
+	if got := <-slowDone; got != "done" {
+		t.Errorf("in-flight request result %q, want %q", got, "done")
+	}
+	select {
+	case err := <-f.servErr:
+		if err != nil {
+			t.Errorf("serve returned %v, want nil after clean drain", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("serve did not return after drain")
+	}
+}
+
+// When the in-flight request outlives the drain deadline, serve() must
+// still return (force-closing connections) and report the overrun.
+func TestServeDrainDeadlineExceeded(t *testing.T) {
+	f := startDrainFixture(t, 50*time.Millisecond)
+	defer close(f.release)
+
+	slowDone := make(chan struct{})
+	go func() {
+		resp, err := http.Get(f.base + "/slow")
+		if err == nil {
+			resp.Body.Close()
+		}
+		close(slowDone)
+	}()
+	<-f.started
+
+	f.sig <- syscall.SIGTERM
+	select {
+	case err := <-f.servErr:
+		if err == nil {
+			t.Error("serve returned nil, want drain-deadline error")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("serve hung past the drain deadline")
+	}
+	// The forced close unblocks the stuck client promptly.
+	select {
+	case <-slowDone:
+	case <-time.After(3 * time.Second):
+		t.Fatal("in-flight connection not force-closed")
+	}
+}

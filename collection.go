@@ -22,13 +22,27 @@ import (
 // chains (penalties are per-document properties: the same query may relax
 // differently over differently-shaped documents); a collection search
 // merges the per-document rankings into one global top-K.
+//
+// A Collection is a live corpus: Add, Remove and Replace may run
+// concurrently with searches. Membership is guarded by an internal
+// RWMutex; a search snapshots the membership once at entry and evaluates
+// against that snapshot, so it sees a consistent corpus (never a
+// half-applied mutation) and never blocks behind another search.
 type Collection struct {
+	mu     sync.RWMutex
 	names  []string
 	docs   []*Document
 	byName map[string]int
+	// docCacheCap remembers the last SetDocumentCaches capacity so
+	// documents added or swapped in later get the same cache
+	// configuration as the members present at call time. docCacheSet
+	// distinguishes "never configured" (leave new documents alone) from
+	// "explicitly disabled" (capacity <= 0 disables new documents too).
+	docCacheCap int
+	docCacheSet bool
 
 	// qc, when set, caches merged collection-level result sets; see
-	// SetCache. Adding a document purges it.
+	// SetCache. Any membership mutation purges it.
 	qc atomic.Pointer[qcache.Cache]
 }
 
@@ -39,22 +53,95 @@ func NewCollection() *Collection {
 
 // Add inserts a document under a name (typically its file name). Names
 // appear in CollectionAnswer and must be unique. Adding a document purges
-// the collection-level query cache: cached merged rankings no longer
-// cover the whole corpus.
+// the collection-level query cache (cached merged rankings no longer
+// cover the whole corpus) and applies the collection's document-cache
+// configuration (SetDocumentCaches) to the new member.
 func (c *Collection) Add(name string, doc *Document) error {
+	c.mu.Lock()
 	if c.byName == nil {
 		c.byName = make(map[string]int)
 	}
 	if _, dup := c.byName[name]; dup {
+		c.mu.Unlock()
 		return fmt.Errorf("flexpath: duplicate document name %q", name)
 	}
 	c.byName[name] = len(c.names)
 	c.names = append(c.names, name)
 	c.docs = append(c.docs, doc)
+	cacheSet, cacheCap := c.docCacheSet, c.docCacheCap
+	c.mu.Unlock()
+	if cacheSet {
+		doc.SetCache(cacheCap)
+	}
 	if qc := c.qc.Load(); qc != nil {
 		qc.Purge()
 	}
 	return nil
+}
+
+// Remove deletes the named document from the collection. It purges the
+// collection-level query cache (cached merged rankings cover a corpus
+// that no longer exists) and the removed document's own cache. Searches
+// already in flight keep evaluating the membership snapshot they started
+// with, including the removed document.
+func (c *Collection) Remove(name string) error {
+	c.mu.Lock()
+	i, ok := c.byName[name]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("flexpath: no document named %q", name)
+	}
+	old := c.docs[i]
+	// In-flight searches are isolated by snapshot()'s copy, so the
+	// slices can be compacted in place under the exclusive lock.
+	c.names = append(c.names[:i], c.names[i+1:]...)
+	c.docs = append(c.docs[:i], c.docs[i+1:]...)
+	delete(c.byName, name)
+	for j := i; j < len(c.names); j++ {
+		c.byName[c.names[j]] = j
+	}
+	c.mu.Unlock()
+	if qc := c.qc.Load(); qc != nil {
+		qc.Purge()
+	}
+	old.purgeCache()
+	return nil
+}
+
+// Replace swaps the named document for doc, keeping its position in the
+// ranking tie-break order. The collection-level query cache and the
+// replaced document's own cache are purged; the incoming document gets
+// the collection's document-cache configuration.
+func (c *Collection) Replace(name string, doc *Document) error {
+	c.mu.Lock()
+	i, ok := c.byName[name]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("flexpath: no document named %q", name)
+	}
+	old := c.docs[i]
+	c.docs[i] = doc
+	cacheSet, cacheCap := c.docCacheSet, c.docCacheCap
+	c.mu.Unlock()
+	if cacheSet {
+		doc.SetCache(cacheCap)
+	}
+	if qc := c.qc.Load(); qc != nil {
+		qc.Purge()
+	}
+	old.purgeCache()
+	return nil
+}
+
+// snapshot returns a consistent view of the membership for one search.
+// The returned slices are private copies, so the holder is isolated from
+// later mutations (which compact or rewrite the originals in place).
+func (c *Collection) snapshot() (names []string, docs []*Document) {
+	c.mu.RLock()
+	names = append([]string(nil), c.names...)
+	docs = append([]*Document(nil), c.docs...)
+	c.mu.RUnlock()
+	return names, docs
 }
 
 // AddFile loads and adds the XML document at path, named by the path.
@@ -67,12 +154,17 @@ func (c *Collection) AddFile(path string) error {
 }
 
 // Len returns the number of documents.
-func (c *Collection) Len() int { return len(c.docs) }
+func (c *Collection) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.docs)
+}
 
 // Nodes returns the total number of element nodes across all documents.
 func (c *Collection) Nodes() int {
+	_, docs := c.snapshot()
 	total := 0
-	for _, d := range c.docs {
+	for _, d := range docs {
 		total += d.Nodes()
 	}
 	return total
@@ -80,11 +172,14 @@ func (c *Collection) Nodes() int {
 
 // Names returns the document names in insertion order.
 func (c *Collection) Names() []string {
-	return append([]string(nil), c.names...)
+	names, _ := c.snapshot()
+	return names
 }
 
 // Document returns the named document, if present.
 func (c *Collection) Document(name string) (*Document, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if i, ok := c.byName[name]; ok {
 		return c.docs[i], true
 	}
@@ -94,7 +189,7 @@ func (c *Collection) Document(name string) (*Document, bool) {
 // SetCache enables a collection-level cache of merged top-K rankings
 // holding up to capacity result sets; capacity <= 0 disables it. Keys are
 // the same normalized search keys Document.SetCache uses. The cache is
-// purged whenever a document is added.
+// purged whenever the membership changes (Add, Remove, Replace).
 func (c *Collection) SetCache(capacity int) {
 	if capacity <= 0 {
 		c.qc.Store(nil)
@@ -106,9 +201,16 @@ func (c *Collection) SetCache(capacity int) {
 // SetDocumentCaches enables (or, with capacity <= 0, disables) a
 // per-document result cache of the given capacity on every member
 // document. Per-document caches also serve direct Document.Search calls
-// and survive collection cache purges.
+// and survive collection cache purges. The capacity is remembered:
+// documents added (or swapped in by Replace) later get the same cache
+// configuration, so DocumentCacheStats covers the whole live corpus.
 func (c *Collection) SetDocumentCaches(capacity int) {
-	for _, d := range c.docs {
+	c.mu.Lock()
+	c.docCacheCap = capacity
+	c.docCacheSet = true
+	docs := append([]*Document(nil), c.docs...)
+	c.mu.Unlock()
+	for _, d := range docs {
 		d.SetCache(capacity)
 	}
 }
@@ -128,7 +230,8 @@ func (c *Collection) CacheStats() (s CacheStats, ok bool) {
 func (c *Collection) DocumentCacheStats() (s CacheStats, ok bool) {
 	var sum CacheStats
 	any := false
-	for _, d := range c.docs {
+	_, docs := c.snapshot()
+	for _, d := range docs {
 		if ds, dok := d.CacheStats(); dok {
 			sum.add(ds)
 			any = true
@@ -165,6 +268,9 @@ func (c *Collection) SearchContext(ctx context.Context, q *Query, opts SearchOpt
 	if opts.K <= 0 {
 		opts.K = 10
 	}
+	if opts.Offset < 0 {
+		opts.Offset = 0
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -196,27 +302,39 @@ func (c *Collection) SearchContext(ctx context.Context, q *Query, opts SearchOpt
 		}
 	}
 
-	perDoc := make([][]Answer, len(c.docs))
-	perErr := make([]error, len(c.docs))
-	perMet := make([]Metrics, len(c.docs))
+	// One consistent membership view for the whole search: a concurrent
+	// Add/Remove/Replace neither blocks behind this search nor changes
+	// which documents it evaluates.
+	names, docs := c.snapshot()
+
+	perDoc := make([][]Answer, len(docs))
+	perErr := make([]error, len(docs))
+	perMet := make([]Metrics, len(docs))
 	runDoc := func(i int) {
 		sub := opts
+		// Pagination is a property of the merged global ranking, not of
+		// any member document's ranking: each document must contribute
+		// its full top Offset+K (a globally-skipped answer may rank
+		// anywhere within a single document), and the offset is applied
+		// exactly once after the merge below.
+		sub.K = opts.K + opts.Offset
+		sub.Offset = 0
 		sub.Metrics = nil
 		if opts.Metrics != nil {
 			sub.Metrics = &perMet[i]
 		}
-		perDoc[i], perErr[i] = c.docs[i].SearchContext(ctx, q, sub)
+		perDoc[i], perErr[i] = docs[i].SearchContext(ctx, q, sub)
 	}
 
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(c.docs) {
-		workers = len(c.docs)
+	if workers > len(docs) {
+		workers = len(docs)
 	}
 	if workers <= 1 {
-		for i := range c.docs {
+		for i := range docs {
 			runDoc(i)
 		}
 	} else {
@@ -228,7 +346,7 @@ func (c *Collection) SearchContext(ctx context.Context, q *Query, opts SearchOpt
 				defer wg.Done()
 				for {
 					i := int(next.Add(1)) - 1
-					if i >= len(c.docs) {
+					if i >= len(docs) {
 						return
 					}
 					runDoc(i)
@@ -245,15 +363,15 @@ func (c *Collection) SearchContext(ctx context.Context, q *Query, opts SearchOpt
 		tMerge = time.Now()
 	}
 	var all []CollectionAnswer
-	for i := range c.docs {
+	for i := range docs {
 		if perErr[i] != nil {
-			return nil, fmt.Errorf("flexpath: document %q: %w", c.names[i], perErr[i])
+			return nil, fmt.Errorf("flexpath: document %q: %w", names[i], perErr[i])
 		}
 		if opts.Metrics != nil {
 			opts.Metrics.add(perMet[i])
 		}
 		for _, a := range perDoc[i] {
-			all = append(all, CollectionAnswer{Answer: a, DocName: c.names[i]})
+			all = append(all, CollectionAnswer{Answer: a, DocName: names[i]})
 		}
 	}
 	scheme := opts.Scheme.rank()
@@ -268,6 +386,14 @@ func (c *Collection) SearchContext(ctx context.Context, q *Query, opts SearchOpt
 		}
 		return all[i].node < all[j].node
 	})
+	// Apply the global offset once, over the merged ranking.
+	if opts.Offset > 0 {
+		if opts.Offset >= len(all) {
+			all = nil
+		} else {
+			all = all[opts.Offset:]
+		}
+	}
 	if len(all) > opts.K {
 		all = all[:opts.K]
 	}
@@ -335,7 +461,8 @@ func (c *Collection) PlannerStats() PlannerStats {
 	nsN := map[string]int{}
 	errN := map[string]int{}
 	restartN := 0
-	for _, d := range c.docs {
+	_, docs := c.snapshot()
+	for _, d := range docs {
 		s := d.PlannerStats()
 		for k, v := range s.Choices {
 			agg.Choices[k] += v

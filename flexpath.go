@@ -687,6 +687,15 @@ func (d *Document) SetCache(capacity int) {
 	d.qc.Store(qcache.New(capacity))
 }
 
+// purgeCache discards the document cache's entries (keeping it enabled
+// and its counters intact). Collections call this when the document
+// leaves the corpus, so a long-gone member doesn't pin result sets.
+func (d *Document) purgeCache() {
+	if qc := d.qc.Load(); qc != nil {
+		qc.Purge()
+	}
+}
+
 // CacheStats reports the document cache's hit/miss/eviction counters;
 // ok is false when no cache is enabled.
 func (d *Document) CacheStats() (s CacheStats, ok bool) {
@@ -731,22 +740,30 @@ func (s *CacheStats) add(o CacheStats) {
 
 // searchCacheKey normalizes the aspects of a search that determine its
 // result set. The query is keyed by its canonical serialization, so
-// syntactic variants of the same pattern share an entry.
+// syntactic variants of the same pattern share an entry. User-controlled
+// components (the query text and the hierarchy map) are length-prefixed:
+// a bare separator would let adversarial tag or hierarchy names alias
+// two distinct searches onto one cache entry, poisoning every later hit.
 func searchCacheKey(q *Query, opts SearchOptions) string {
 	rw := opts.Weights.rank()
-	return fmt.Sprintf("%s|%s|%s|k=%d|o=%d|w=%g,%g|h=%s",
-		q.q.Canon(), opts.Algorithm, opts.Scheme, opts.K, opts.Offset,
-		rw.Structural, rw.Contains, hierarchyKey(opts.Hierarchy))
+	canon := q.q.Canon()
+	h := hierarchyKey(opts.Hierarchy)
+	return fmt.Sprintf("%d:%s|%s|%s|k=%d|o=%d|w=%g,%g|h=%d:%s",
+		len(canon), canon, opts.Algorithm, opts.Scheme, opts.K, opts.Offset,
+		rw.Structural, rw.Contains, len(h), h)
 }
 
 // hierarchyKey canonicalizes a type-hierarchy map (order-independent).
+// Each name is length-prefixed so names containing the pair and list
+// separators ('>', ';') cannot make two different maps render the same
+// key: the encoding is unambiguously parseable, hence injective.
 func hierarchyKey(hierarchy map[string]string) string {
 	if len(hierarchy) == 0 {
 		return ""
 	}
 	pairs := make([]string, 0, len(hierarchy))
 	for t, s := range hierarchy {
-		pairs = append(pairs, t+">"+s)
+		pairs = append(pairs, fmt.Sprintf("%d:%s>%d:%s", len(t), t, len(s), s))
 	}
 	sort.Strings(pairs)
 	return strings.Join(pairs, ";")
@@ -857,7 +874,11 @@ func (d *Document) chainH(q *Query, w Weights, hierarchy map[string]string) (*co
 	if len(hierarchy) > 0 {
 		h = tpq.NewHierarchy(hierarchy)
 	}
-	key := fmt.Sprintf("%s|%g|%g|%s", q.q.Canon(), rw.Structural, rw.Contains, hierarchyKey(hierarchy))
+	// Length-prefix the canon like searchCacheKey does: a quoted term
+	// containing '|' must not alias two different (query, weights,
+	// hierarchy) triples onto one memoized chain.
+	canon := q.q.Canon()
+	key := fmt.Sprintf("%d:%s|%g|%g|%s", len(canon), canon, rw.Structural, rw.Contains, hierarchyKey(hierarchy))
 	d.mu.Lock()
 	c, ok := d.chains[key]
 	d.mu.Unlock()

@@ -114,8 +114,13 @@ func (c *Cache) Get(key string) (any, bool) {
 	s := c.shardFor(key)
 	s.mu.Lock()
 	el, ok := s.items[key]
+	var val any
 	if ok {
 		s.order.MoveToFront(el)
+		// Read the value inside the critical section: Put on an existing
+		// key rewrites entry.val under the lock, so reading it after
+		// Unlock races with a concurrent same-key Put.
+		val = el.Value.(*entry).val
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -123,7 +128,7 @@ func (c *Cache) Get(key string) (any, bool) {
 		return nil, false
 	}
 	c.hits.Add(1)
-	return el.Value.(*entry).val, true
+	return val, true
 }
 
 // Put stores val under key, evicting the shard's least recently used

@@ -134,3 +134,37 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("expected both hits and misses: %+v", st)
 	}
 }
+
+// TestSameKeyGetPutRace hammers one key with concurrent Get and Put.
+// Regression: Get used to read entry.val after releasing the shard
+// mutex, racing with a same-key Put rewriting it under the lock — the
+// race detector flagged exactly this interleaving.
+func TestSameKeyGetPutRace(t *testing.T) {
+	c := New(8)
+	c.Put("hot", 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				c.Put("hot", g*10000+i)
+			}
+		}(g)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				v, ok := c.Get("hot")
+				if !ok {
+					t.Error("hot key missing")
+					return
+				}
+				if _, isInt := v.(int); !isInt {
+					t.Errorf("hot key holds %T", v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
