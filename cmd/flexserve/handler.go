@@ -209,6 +209,16 @@ func parseCommon(r *http.Request) (*flexpath.Query, flexpath.SearchOptions, erro
 		}
 		opts.K = k
 	}
+	if os := r.URL.Query().Get("offset"); os != "" {
+		// Offset is clamped too: each member document materializes its
+		// top K+Offset answers, so offset bounds per-request work just
+		// like k does.
+		o, err := strconv.Atoi(os)
+		if err != nil || o < 0 || o > maxOffset {
+			return nil, opts, errBadOffset
+		}
+		opts.Offset = o
+	}
 	if a := r.URL.Query().Get("algo"); a != "" {
 		algo, err := flexpath.ParseAlgorithm(a)
 		if err != nil {
@@ -226,12 +236,17 @@ func parseCommon(r *http.Request) (*flexpath.Query, flexpath.SearchOptions, erro
 	return q, opts, nil
 }
 
-// maxK bounds the k parameter of one request.
-const maxK = 1000
+// maxK bounds the k parameter of one request; maxOffset bounds how deep
+// pagination may reach into the ranking.
+const (
+	maxK      = 1000
+	maxOffset = 10000
+)
 
 var (
 	errMissingQuery = jsonError("missing q parameter")
 	errBadK         = jsonError("k must be an integer between 1 and 1000")
+	errBadOffset    = jsonError("offset must be an integer between 0 and 10000")
 )
 
 type jsonError string

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -398,5 +399,58 @@ func TestPlannerObservability(t *testing.T) {
 	}
 	if err := obs.ValidateExposition(body); err != nil {
 		t.Errorf("exposition invalid: %v", err)
+	}
+}
+
+// The offset parameter pages the merged ranking over HTTP with the same
+// identity the library guarantees: page(offset=o, k=k) equals the window
+// [o:o+k] of the unpaged ranking, with ranks renumbered from 1 within
+// the page.
+func TestSearchOffsetPagination(t *testing.T) {
+	srv := testServer(t)
+	// Unpaged reference ranking: a query loose enough to admit several
+	// relaxed answers.
+	q := escape(`//book[./chapter/para[.contains("xml")]]`)
+	_, fullBody := get(t, srv.URL+"/search?q="+q+"&k=10")
+	var full searchResponse
+	if err := json.Unmarshal(fullBody, &full); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, fullBody)
+	}
+	if len(full.Answers) < 2 {
+		t.Fatalf("need at least 2 answers to observe paging, got %d", len(full.Answers))
+	}
+	for offset := 0; offset <= len(full.Answers); offset++ {
+		resp, body := get(t, srv.URL+"/search?q="+q+"&k=1&offset="+strconv.Itoa(offset))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("offset=%d: status %d: %s", offset, resp.StatusCode, body)
+		}
+		var page searchResponse
+		if err := json.Unmarshal(body, &page); err != nil {
+			t.Fatalf("offset=%d: bad JSON: %v", offset, err)
+		}
+		if offset >= len(full.Answers) {
+			if len(page.Answers) != 0 {
+				t.Errorf("offset=%d past the end: got %d answers", offset, len(page.Answers))
+			}
+			continue
+		}
+		if len(page.Answers) != 1 {
+			t.Fatalf("offset=%d: got %d answers, want 1", offset, len(page.Answers))
+		}
+		got, want := page.Answers[0], full.Answers[offset]
+		if got.Rank != 1 {
+			t.Errorf("offset=%d: rank %d, want 1 (ranks renumber within the page)", offset, got.Rank)
+		}
+		if got.Doc != want.Doc || got.Path != want.Path || got.ID != want.ID ||
+			got.Structural != want.Structural || got.Keyword != want.Keyword {
+			t.Errorf("offset=%d: page answer %+v != unpaged rank %d %+v", offset, got, offset+1, want)
+		}
+	}
+	// Out-of-range offsets are rejected, not clamped.
+	for _, bad := range []string{"-1", "10001", "x"} {
+		resp, _ := get(t, srv.URL+"/search?q="+q+"&k=1&offset="+bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("offset=%s: status %d, want 400", bad, resp.StatusCode)
+		}
 	}
 }

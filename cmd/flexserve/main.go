@@ -10,10 +10,11 @@
 //	flexserve -maxinflight 64 -drain 15s data.xml   # shed overload, drain on SIGTERM
 //	flexserve -admin data.xml                        # expose /admin/ mutation endpoints
 //	flexserve -pprof data.xml                        # also expose /debug/pprof/
+//	flexserve -shard -addr :9001                     # empty shard behind flexrouter
 //
 // Endpoints:
 //
-//	GET /search?q=QUERY&k=10&algo=hybrid&scheme=structure-first&why=1
+//	GET /search?q=QUERY&k=10&offset=0&algo=hybrid&scheme=structure-first&why=1
 //	GET /relaxations?q=QUERY
 //	GET /plan?q=QUERY&k=10
 //	GET /stats
@@ -39,8 +40,6 @@
 package main
 
 import (
-	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -52,6 +51,7 @@ import (
 	"time"
 
 	"flexpath"
+	"flexpath/internal/serveutil"
 )
 
 func main() {
@@ -65,6 +65,7 @@ func main() {
 	maxInFlight := flag.Int("maxinflight", 0, "max concurrently executing query requests; excess is shed with 503 (0 = unlimited)")
 	drain := flag.Duration("drain", 10*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
 	admin := flag.Bool("admin", false, "expose corpus mutation endpoints under /admin/")
+	shard := flag.Bool("shard", false, "run as a shard behind flexrouter: allow starting with an empty corpus and expose the /admin/ mutation endpoints (the router places documents here)")
 	flag.Parse()
 
 	coll := flexpath.NewCollection()
@@ -84,8 +85,8 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	if coll.Len() == 0 {
-		fmt.Fprintln(os.Stderr, "flexserve: no documents given")
+	if coll.Len() == 0 && !*shard {
+		fmt.Fprintln(os.Stderr, "flexserve: no documents given (use -shard to start empty behind flexrouter)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -102,10 +103,10 @@ func main() {
 		slowThreshold: time.Duration(*slowMS) * time.Millisecond,
 		pprof:         *pprofOn,
 		maxInFlight:   *maxInFlight,
-		admin:         *admin,
+		admin:         *admin || *shard,
 	})
-	log.Printf("serving %d documents (%d elements) on %s (cache=%d, timeout=%v, slowlog=%d@%dms, pprof=%v, maxinflight=%d, admin=%v)",
-		coll.Len(), coll.Nodes(), *addr, *cache, *timeout, *slowCap, *slowMS, *pprofOn, *maxInFlight, *admin)
+	log.Printf("serving %d documents (%d elements) on %s (cache=%d, timeout=%v, slowlog=%d@%dms, pprof=%v, maxinflight=%d, admin=%v, shard=%v)",
+		coll.Len(), coll.Nodes(), *addr, *cache, *timeout, *slowCap, *slowMS, *pprofOn, *maxInFlight, *admin || *shard, *shard)
 
 	srv := &http.Server{
 		Handler:           h,
@@ -119,37 +120,7 @@ func main() {
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	if err := serve(srv, ln, sig, *drain); err != nil {
+	if err := serveutil.Serve("flexserve", srv, ln, sig, *drain); err != nil {
 		log.Fatal(err)
-	}
-}
-
-// serve runs srv on ln until it fails or a shutdown signal arrives, then
-// gracefully drains: the listener closes immediately (new connections
-// are refused), in-flight requests get up to drain to finish, and only
-// then does serve return. A drain overrun force-closes remaining
-// connections and reports an error; a clean drain returns nil.
-//
-// The signal channel is a parameter so tests can drive the lifecycle
-// deterministically.
-func serve(srv *http.Server, ln net.Listener, sig <-chan os.Signal, drain time.Duration) error {
-	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
-	select {
-	case err := <-errc:
-		if errors.Is(err, http.ErrServerClosed) {
-			return nil
-		}
-		return err
-	case s := <-sig:
-		log.Printf("flexserve: received %v: refusing new connections, draining in-flight requests (deadline %v)", s, drain)
-		ctx, cancel := context.WithTimeout(context.Background(), drain)
-		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			srv.Close()
-			return fmt.Errorf("flexserve: drain deadline exceeded: %w", err)
-		}
-		log.Print("flexserve: drained cleanly")
-		return nil
 	}
 }

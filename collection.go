@@ -6,12 +6,12 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"flexpath/internal/merge"
 	"flexpath/internal/obs"
 	"flexpath/internal/qcache"
 )
@@ -374,29 +374,13 @@ func (c *Collection) SearchContext(ctx context.Context, q *Query, opts SearchOpt
 			all = append(all, CollectionAnswer{Answer: a, DocName: names[i]})
 		}
 	}
-	scheme := opts.Scheme.rank()
-	sort.SliceStable(all, func(i, j int) bool {
-		si := rankScore(all[i].Answer)
-		sj := rankScore(all[j].Answer)
-		if cmp := si.Compare(sj, scheme); cmp != 0 {
-			return cmp > 0
-		}
-		if all[i].DocName != all[j].DocName {
-			return all[i].DocName < all[j].DocName
-		}
-		return all[i].node < all[j].node
-	})
+	// The comparator lives in internal/merge so flexrouter's network
+	// merge is byte-identical to this in-process one by construction.
+	merge.Sort(all, func(a CollectionAnswer) merge.Key {
+		return merge.Key{Score: rankScore(a.Answer), Doc: a.DocName, Ord: int(a.node)}
+	}, opts.Scheme.rank())
 	// Apply the global offset once, over the merged ranking.
-	if opts.Offset > 0 {
-		if opts.Offset >= len(all) {
-			all = nil
-		} else {
-			all = all[opts.Offset:]
-		}
-	}
-	if len(all) > opts.K {
-		all = all[:opts.K]
-	}
+	all = merge.Page(all, opts.K, opts.Offset)
 	if span != nil {
 		span.Rec(obs.StageMerge, time.Since(tMerge))
 	}

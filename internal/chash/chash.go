@@ -1,0 +1,96 @@
+// Package chash implements the consistent-hash ring flexrouter uses to
+// place documents on shards. Each shard is projected onto the ring at a
+// fixed number of pseudo-random points (virtual nodes); a document is
+// owned by the first shard point at or clockwise after the document's own
+// hash. The property that matters operationally: adding one shard to an
+// N+1-shard ring reassigns only the documents that land on the new
+// shard's arcs — about 1/(N+1) of the corpus — and every reassigned
+// document moves *to* the new shard, never between existing ones, so a
+// scale-out only fills the new shard instead of reshuffling the fleet.
+package chash
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultReplicas is the virtual-node count per shard. 128 points keeps
+// the expected per-shard load imbalance within a few percent for small
+// fleets while the ring stays tiny (N*128 uint64s).
+const DefaultReplicas = 128
+
+type point struct {
+	hash  uint64
+	shard int
+}
+
+// Ring is an immutable consistent-hash ring over a list of shard names.
+type Ring struct {
+	shards []string
+	points []point
+}
+
+// New builds a ring over shards with replicas virtual nodes per shard
+// (<= 0 picks DefaultReplicas). Shard names must be non-empty and unique:
+// the name, not the slice position, determines placement, so a reordered
+// shard list yields identical ownership.
+func New(shards []string, replicas int) (*Ring, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("chash: no shards")
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := make(map[string]bool, len(shards))
+	r := &Ring{
+		shards: append([]string(nil), shards...),
+		points: make([]point, 0, len(shards)*replicas),
+	}
+	for i, s := range shards {
+		if s == "" {
+			return nil, fmt.Errorf("chash: empty shard name")
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("chash: duplicate shard %q", s)
+		}
+		seen[s] = true
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", s, v)), shard: i})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A 64-bit collision between virtual nodes is vanishingly rare
+		// but must still order deterministically across processes.
+		return r.shards[r.points[i].shard] < r.shards[r.points[j].shard]
+	})
+	return r, nil
+}
+
+// Shards returns the shard names in construction order.
+func (r *Ring) Shards() []string { return append([]string(nil), r.shards...) }
+
+// OwnerIndex returns the index (into the construction order) of the shard
+// owning key.
+func (r *Ring) OwnerIndex(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the ring is circular
+	}
+	return r.points[i].shard
+}
+
+// Owner returns the name of the shard owning key.
+func (r *Ring) Owner(key string) string { return r.shards[r.OwnerIndex(key)] }
+
+// hash64 is FNV-1a; placement only needs a stable, well-mixed hash, and
+// fnv is in the standard library and allocation-free via resetting.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck // fnv never errors
+	return h.Sum64()
+}

@@ -1,0 +1,127 @@
+package chash
+
+import (
+	"fmt"
+	"testing"
+)
+
+func docNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("doc-%04d.xml", i)
+	}
+	return names
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Error("New(nil) accepted an empty shard list")
+	}
+	if _, err := New([]string{"a", ""}, 0); err == nil {
+		t.Error("New accepted an empty shard name")
+	}
+	if _, err := New([]string{"a", "a"}, 0); err == nil {
+		t.Error("New accepted duplicate shard names")
+	}
+}
+
+func TestOwnershipIsStableAndOrderIndependent(t *testing.T) {
+	r1, err := New([]string{"s1", "s2", "s3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Placement keys on the shard name, so a reordered shard list must
+	// not move a single document.
+	r2, err := New([]string{"s3", "s1", "s2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range docNames(2000) {
+		if r1.Owner(doc) != r2.Owner(doc) {
+			t.Fatalf("doc %s: owner %s with one shard order, %s with another", doc, r1.Owner(doc), r2.Owner(doc))
+		}
+		if got := r1.Shards()[r1.OwnerIndex(doc)]; got != r1.Owner(doc) {
+			t.Fatalf("OwnerIndex and Owner disagree for %s", doc)
+		}
+	}
+}
+
+func TestDistributionRoughlyBalanced(t *testing.T) {
+	shards := []string{"s1", "s2", "s3", "s4"}
+	r, err := New(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	docs := docNames(8000)
+	for _, doc := range docs {
+		counts[r.Owner(doc)]++
+	}
+	want := len(docs) / len(shards)
+	for _, s := range shards {
+		// With 128 virtual nodes the per-shard load should be within a
+		// factor of two of fair share — a loose bound that still catches
+		// a broken hash or an unsorted ring.
+		if counts[s] < want/2 || counts[s] > want*2 {
+			t.Errorf("shard %s owns %d of %d docs (fair share %d): distribution badly skewed %v",
+				s, counts[s], len(docs), want, counts)
+		}
+	}
+}
+
+// The property that makes consistent hashing worth its name: growing the
+// fleet from N to N+1 shards moves only the documents claimed by the new
+// shard — roughly 1/(N+1) of the corpus — and every moved document moves
+// TO the new shard. Nothing is shuffled between surviving shards.
+func TestRebalanceMovesAtMostOneNth(t *testing.T) {
+	docs := docNames(9000)
+	before, err := New([]string{"s1", "s2", "s3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := New([]string{"s1", "s2", "s3", "s4"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, doc := range docs {
+		ob, oa := before.Owner(doc), after.Owner(doc)
+		if ob == oa {
+			continue
+		}
+		if oa != "s4" {
+			t.Fatalf("doc %s moved %s -> %s: rebalance moved a doc between surviving shards", doc, ob, oa)
+		}
+		moved++
+	}
+	if moved == 0 {
+		t.Fatal("adding a shard moved no documents: new shard would stay empty")
+	}
+	// Expected moves: len(docs)/4. Allow 2x slack for hash variance; the
+	// disastrous alternative (modulo hashing) would move ~3/4 of them.
+	limit := 2 * len(docs) / 4
+	if moved > limit {
+		t.Errorf("adding one shard to 3 moved %d of %d docs, want <= %d (~1/N)", moved, len(docs), limit)
+	}
+}
+
+func TestRemovalOnlyOrphansTheRemovedShard(t *testing.T) {
+	docs := docNames(5000)
+	before, err := New([]string{"s1", "s2", "s3", "s4"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := New([]string{"s1", "s2", "s4"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range docs {
+		ob, oa := before.Owner(doc), after.Owner(doc)
+		if ob != "s3" && ob != oa {
+			t.Fatalf("doc %s moved %s -> %s though its shard survived", doc, ob, oa)
+		}
+		if ob == "s3" && oa == "s3" {
+			t.Fatalf("doc %s still owned by removed shard", doc)
+		}
+	}
+}

@@ -29,9 +29,11 @@ func promBound(i int) string {
 	return strconv.FormatFloat(float64(b)/1e9, 'g', -1, 64)
 }
 
-// writeHistogram renders one histogram series with the given label pair
-// applied to every sample.
-func writeHistogram(w io.Writer, name, labelKey, labelVal string, s HistogramSnapshot) {
+// WriteHistogram renders one histogram series with the given label pair
+// applied to every sample. Serving layers that keep their own Histogram
+// families (flexrouter's per-shard latency) render them through this so
+// every exposition in the system shares one bucket geometry.
+func WriteHistogram(w io.Writer, name, labelKey, labelVal string, s HistogramSnapshot) {
 	lv := escapeLabel(labelVal)
 	var cum uint64
 	for i, c := range s.Counts {
@@ -64,13 +66,13 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE flexpath_query_duration_seconds histogram")
 	algos, hists := r.LatencyByAlgo()
 	for i, a := range algos {
-		writeHistogram(w, "flexpath_query_duration_seconds", "algo", a, hists[i])
+		WriteHistogram(w, "flexpath_query_duration_seconds", "algo", a, hists[i])
 	}
 
 	fmt.Fprintln(w, "# HELP flexpath_stage_duration_seconds Per-stage evaluation time (parse, chain, join, merge, cache, plan).")
 	fmt.Fprintln(w, "# TYPE flexpath_stage_duration_seconds histogram")
 	for i, s := range r.StageLatency() {
-		writeHistogram(w, "flexpath_stage_duration_seconds", "stage", Stage(i).String(), s)
+		WriteHistogram(w, "flexpath_stage_duration_seconds", "stage", Stage(i).String(), s)
 	}
 
 	fmt.Fprintln(w, "# HELP flexpath_slowlog_entries Queries retained in the slow-query log.")

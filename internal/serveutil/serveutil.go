@@ -1,0 +1,47 @@
+// Package serveutil holds the HTTP server lifecycle shared by flexserve
+// and flexrouter: serve until failure or a shutdown signal, then drain
+// gracefully. Both binaries need byte-for-byte the same semantics (CI
+// kills and restarts them interchangeably), so the loop lives here rather
+// than being copied into each main package.
+package serveutil
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+)
+
+// Serve runs srv on ln until it fails or a shutdown signal arrives, then
+// gracefully drains: the listener closes immediately (new connections are
+// refused), in-flight requests get up to drain to finish, and only then
+// does Serve return. A drain overrun force-closes remaining connections
+// and reports an error; a clean drain returns nil.
+//
+// name labels log lines; the signal channel is a parameter so tests can
+// drive the lifecycle deterministically.
+func Serve(name string, srv *http.Server, ln net.Listener, sig <-chan os.Signal, drain time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case s := <-sig:
+		log.Printf("%s: received %v: refusing new connections, draining in-flight requests (deadline %v)", name, s, drain)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close()
+			return fmt.Errorf("%s: drain deadline exceeded: %w", name, err)
+		}
+		log.Printf("%s: drained cleanly", name)
+		return nil
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package serveutil
 
 import (
 	"io"
@@ -10,7 +10,7 @@ import (
 	"time"
 )
 
-// drainFixture runs serve() over a handler whose /slow endpoint blocks
+// drainFixture runs Serve() over a handler whose /slow endpoint blocks
 // until released, so tests can hold a request in flight across the
 // shutdown signal deterministically.
 type drainFixture struct {
@@ -18,7 +18,7 @@ type drainFixture struct {
 	sig     chan os.Signal
 	started chan struct{} // closed when /slow is executing
 	release chan struct{} // close to let /slow finish
-	servErr chan error    // serve()'s return value
+	servErr chan error    // Serve()'s return value
 }
 
 func startDrainFixture(t *testing.T, drain time.Duration) *drainFixture {
@@ -44,13 +44,13 @@ func startDrainFixture(t *testing.T, drain time.Duration) *drainFixture {
 		w.Write([]byte("ok")) //nolint:errcheck
 	})
 	srv := &http.Server{Handler: mux}
-	go func() { f.servErr <- serve(srv, ln, f.sig, drain) }()
+	go func() { f.servErr <- Serve("test", srv, ln, f.sig, drain) }()
 	return f
 }
 
 // A SIGTERM must stop accepting new connections immediately while the
 // in-flight request is allowed to finish within the drain deadline, and
-// serve() must then return cleanly.
+// Serve() must then return cleanly.
 func TestServeDrainsInFlight(t *testing.T) {
 	f := startDrainFixture(t, 5*time.Second)
 
@@ -98,7 +98,7 @@ func TestServeDrainsInFlight(t *testing.T) {
 	}
 }
 
-// When the in-flight request outlives the drain deadline, serve() must
+// When the in-flight request outlives the drain deadline, Serve() must
 // still return (force-closing connections) and report the overrun.
 func TestServeDrainDeadlineExceeded(t *testing.T) {
 	f := startDrainFixture(t, 50*time.Millisecond)
