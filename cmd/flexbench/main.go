@@ -493,6 +493,58 @@ func (h *harness) figCache() {
 	}
 }
 
+// figPlanCache is NOT a figure of the paper: it measures the
+// plan-template cache on the repeated-query-shape workload. Cold times
+// run with the cache disabled (every search rebuilds the relaxation
+// chain, enumerates levels and constructs its join plans); hit times
+// reuse a warmed template. Both sides bypass the result cache, so the
+// difference is pure template work. Rankings must be byte-identical.
+func (h *harness) figPlanCache() {
+	mb := 1.0
+	h.header(24, fmt.Sprintf("extra: repeated query shapes, cold vs warm plan-template cache (doc=%gMB, XQ2, K=50)", mb))
+	h.figName = "plancache"
+	d := h.doc(mb)
+	q := mustParse(xq2.query)
+	h.row("algo", "cold_ms", "hit_ms", "speedup", "identical")
+	for _, algo := range []flexpath.Algorithm{flexpath.Hybrid, flexpath.SSO, flexpath.DPO, flexpath.Auto} {
+		opts := flexpath.SearchOptions{K: 50, Algorithm: algo, NoCache: true}
+		d.SetPlanCache(0)
+		coldAns, err := d.Search(q, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flexbench:", err)
+			os.Exit(1)
+		}
+		coldT := h.median(func() {
+			var err error
+			coldAns, err = d.Search(q, opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "flexbench:", err)
+				os.Exit(1)
+			}
+		})
+		d.SetPlanCache(256)
+		hitAns, err := d.Search(q, opts) // prime the template (miss)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flexbench:", err)
+			os.Exit(1)
+		}
+		hitT := h.median(func() {
+			var err error
+			hitAns, err = d.Search(q, opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "flexbench:", err)
+				os.Exit(1)
+			}
+		})
+		identical := renderDocAnswers(coldAns) == renderDocAnswers(hitAns)
+		h.row(algo.String(), ms(coldT), ms(hitT), ms(coldT)/ms(hitT), identical)
+	}
+	if ps, ok := d.PlanCacheStats(); ok {
+		fmt.Printf("(plan cache: %d hits, %d misses, %d entries)\n", ps.Hits, ps.Misses, ps.Entries)
+	}
+	d.SetPlanCache(flexpath.DefaultPlanCacheCapacity)
+}
+
 // figParallel is NOT a figure of the paper: it measures parallel
 // Collection.Search against sequential evaluation of the same corpus.
 // The merged rankings must be byte-identical.
@@ -654,10 +706,34 @@ func (h *harness) figGate() {
 			h.row(w.name, k, ms(dpo), ms(sso), ms(hyb), ms(auto))
 		}
 	}
+	// Template-hit rows: the XQ2 workload with the plan cache disabled
+	// (cold: chain + level + plan construction every search) vs warmed.
+	// Gating both keeps the cache's win from silently eroding. Only the
+	// key columns (query, K) and *_ms columns may appear here: benchdiff
+	// folds every non-timing column into the record key.
+	h.row("query", "K", "cold_ms", "hit_ms")
+	q := mustParse(xq2.query)
+	for _, k := range []int{100, 400} {
+		opts := flexpath.SearchOptions{K: k, Algorithm: flexpath.Hybrid, NoCache: true}
+		d.SetPlanCache(0)
+		run := func() {
+			if _, err := d.Search(q, opts); err != nil {
+				fmt.Fprintln(os.Stderr, "flexbench:", err)
+				os.Exit(1)
+			}
+		}
+		run() // warm-up
+		cold := h.median(run)
+		d.SetPlanCache(256)
+		run() // prime the template
+		hit := h.median(run)
+		h.row("XQ2-plancache", k, ms(cold), ms(hit))
+	}
+	d.SetPlanCache(flexpath.DefaultPlanCacheCapacity)
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to run: 9..18, cache, parallel, obs, auto, gate, or all")
+	fig := flag.String("fig", "all", "figure to run: 9..18, cache, plancache, parallel, obs, auto, gate, or all")
 	full := flag.Bool("full", false, "use the paper's document sizes (1-100 MB); slow")
 	runs := flag.Int("runs", 3, "timed runs per point (median reported)")
 	csv := flag.Bool("csv", false, "CSV output")
@@ -674,11 +750,12 @@ func main() {
 		17: h.fig17, 18: h.fig18,
 	}
 	named := map[string]func(){
-		"cache":    h.figCache,
-		"parallel": h.figParallel,
-		"obs":      h.figObs,
-		"auto":     h.figAuto,
-		"gate":     h.figGate,
+		"cache":     h.figCache,
+		"plancache": h.figPlanCache,
+		"parallel":  h.figParallel,
+		"obs":       h.figObs,
+		"auto":      h.figAuto,
+		"gate":      h.figGate,
 	}
 	switch {
 	case *fig == "all":
@@ -686,6 +763,7 @@ func main() {
 			figs[i]()
 		}
 		h.figCache()
+		h.figPlanCache()
 		h.figParallel()
 		h.figObs()
 		h.figAuto()
@@ -695,7 +773,7 @@ func main() {
 		n, err := strconv.Atoi(*fig)
 		if err != nil || figs[n] == nil {
 			fmt.Fprintf(os.Stderr,
-				"flexbench: unknown figure %q (want 9..18, cache, parallel, obs, auto, gate, or all)\n", *fig)
+				"flexbench: unknown figure %q (want 9..18, cache, plancache, parallel, obs, auto, gate, or all)\n", *fig)
 			os.Exit(2)
 		}
 		figs[n]()

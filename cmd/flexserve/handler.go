@@ -233,6 +233,22 @@ func parseCommon(r *http.Request) (*flexpath.Query, flexpath.SearchOptions, erro
 		}
 		opts.Scheme = scheme
 	}
+	// ws/wc set the structural and contains predicate weights; absent
+	// parameters keep the library default (uniform unit weights).
+	if ws := r.URL.Query().Get("ws"); ws != "" {
+		v, err := strconv.ParseFloat(ws, 64)
+		if err != nil || v <= 0 {
+			return nil, opts, errBadWeight
+		}
+		opts.Weights.Structural = v
+	}
+	if wc := r.URL.Query().Get("wc"); wc != "" {
+		v, err := strconv.ParseFloat(wc, 64)
+		if err != nil || v <= 0 {
+			return nil, opts, errBadWeight
+		}
+		opts.Weights.Contains = v
+	}
 	return q, opts, nil
 }
 
@@ -247,6 +263,7 @@ var (
 	errMissingQuery = jsonError("missing q parameter")
 	errBadK         = jsonError("k must be an integer between 1 and 1000")
 	errBadOffset    = jsonError("offset must be an integer between 0 and 10000")
+	errBadWeight    = jsonError("ws and wc must be positive numbers")
 )
 
 type jsonError string
@@ -344,7 +361,10 @@ type relaxationsResponse struct {
 }
 
 func (h *handler) relaxations(w http.ResponseWriter, r *http.Request) {
-	q, _, err := parseCommon(r)
+	// parseCommon, not a bespoke parser: /relaxations accepts the same
+	// parameters /search does, so the chain it reports (weighted
+	// penalties included) is the chain that search evaluates.
+	q, opts, err := parseCommon(r)
 	if err != nil {
 		badRequest(w, err.Error())
 		return
@@ -354,10 +374,11 @@ func (h *handler) relaxations(w http.ResponseWriter, r *http.Request) {
 	// hold this worker past the deadline.
 	ctx, cancel := h.requestContext(r)
 	defer cancel()
+	ropts := flexpath.RelaxationsOpts{Weights: opts.Weights, Hierarchy: opts.Hierarchy}
 	resp := relaxationsResponse{Query: q.String()}
 	for _, name := range h.docNames() {
 		doc, _ := h.coll.Document(name)
-		steps, err := doc.RelaxationsContext(ctx, q)
+		steps, err := doc.RelaxationsWithContext(ctx, q, ropts)
 		if err != nil {
 			status, _ := searchStatus(err)
 			writeJSON(w, status, errorBody{Error: err.Error()})
@@ -405,6 +426,9 @@ type statsResponse struct {
 	// sums the per-document caches. Omitted when caching is disabled.
 	Cache    *flexpath.CacheStats `json:"cache,omitempty"`
 	DocCache *flexpath.CacheStats `json:"doc_cache,omitempty"`
+	// PlanCache sums the per-document plan-template caches (chains +
+	// memoized join plans). Omitted when disabled on every document.
+	PlanCache *flexpath.PlanCacheStats `json:"plan_cache,omitempty"`
 	// Planner aggregates the per-document cost-based planner state
 	// behind the Auto algorithm.
 	Planner flexpath.PlannerStats `json:"planner"`
@@ -425,6 +449,9 @@ func (h *handler) stats(w http.ResponseWriter, _ *http.Request) {
 	}
 	if ds, ok := h.coll.DocumentCacheStats(); ok {
 		resp.DocCache = &ds
+	}
+	if ps, ok := h.coll.PlanCacheStats(); ok {
+		resp.PlanCache = &ps
 	}
 	resp.Planner = h.coll.PlannerStats()
 	writeJSON(w, http.StatusOK, resp)
@@ -474,6 +501,28 @@ func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	for _, row := range rows {
 		fmt.Fprintf(w, "flexpath_cache_capacity{cache=%q} %d\n", row.name, row.cs.Capacity)
 	}
+
+	// Plan-template cache families: unlabeled (the caches are
+	// per-document but sized and operated as one corpus-wide pool).
+	pcs, _ := h.coll.PlanCacheStats()
+	fmt.Fprintln(w, "# HELP flexpath_plancache_hits_total Plan-template cache hits (searches that skipped chain and plan construction).")
+	fmt.Fprintln(w, "# TYPE flexpath_plancache_hits_total counter")
+	fmt.Fprintf(w, "flexpath_plancache_hits_total %d\n", pcs.Hits)
+	fmt.Fprintln(w, "# HELP flexpath_plancache_misses_total Plan-template cache misses (template built).")
+	fmt.Fprintln(w, "# TYPE flexpath_plancache_misses_total counter")
+	fmt.Fprintf(w, "flexpath_plancache_misses_total %d\n", pcs.Misses)
+	fmt.Fprintln(w, "# HELP flexpath_plancache_evictions_total Plan templates displaced by the LRU policy.")
+	fmt.Fprintln(w, "# TYPE flexpath_plancache_evictions_total counter")
+	fmt.Fprintf(w, "flexpath_plancache_evictions_total %d\n", pcs.Evictions)
+	fmt.Fprintln(w, "# HELP flexpath_plancache_dedups_total Lookups coalesced onto another goroutine's in-flight template build.")
+	fmt.Fprintln(w, "# TYPE flexpath_plancache_dedups_total counter")
+	fmt.Fprintf(w, "flexpath_plancache_dedups_total %d\n", pcs.Dedups)
+	fmt.Fprintln(w, "# HELP flexpath_plancache_entries Current plan templates held across all documents.")
+	fmt.Fprintln(w, "# TYPE flexpath_plancache_entries gauge")
+	fmt.Fprintf(w, "flexpath_plancache_entries %d\n", pcs.Entries)
+	fmt.Fprintln(w, "# HELP flexpath_plancache_capacity Effective plan-template capacity summed across all documents.")
+	fmt.Fprintln(w, "# TYPE flexpath_plancache_capacity gauge")
+	fmt.Fprintf(w, "flexpath_plancache_capacity %d\n", pcs.Capacity)
 
 	ps := h.coll.PlannerStats()
 	fmt.Fprintln(w, "# HELP flexpath_planner_choices_total Auto-mode dispatches by chosen algorithm.")

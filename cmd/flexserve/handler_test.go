@@ -454,3 +454,108 @@ func TestSearchOffsetPagination(t *testing.T) {
 		}
 	}
 }
+
+// TestRelaxationsWeightsForwarded: /relaxations must honor the same
+// ws/wc parameters /search does, so the penalties it reports match the
+// scores a weighted search ranks by.
+func TestRelaxationsWeightsForwarded(t *testing.T) {
+	srv := testServer(t)
+	fetch := func(params string) relaxationsResponse {
+		t.Helper()
+		resp, body := get(t, srv.URL+"/relaxations?q="+escape(serveQuery)+params)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var out relaxationsResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Docs) != 1 || len(out.Docs[0].Steps) == 0 {
+			t.Fatalf("relaxations: %+v", out)
+		}
+		return out
+	}
+	uniform := fetch("")
+	weighted := fetch("&ws=2&wc=2")
+	if len(uniform.Docs[0].Steps) != len(weighted.Docs[0].Steps) {
+		t.Fatalf("step counts differ: %d vs %d", len(uniform.Docs[0].Steps), len(weighted.Docs[0].Steps))
+	}
+	for i, u := range uniform.Docs[0].Steps {
+		w := weighted.Docs[0].Steps[i]
+		if w.Penalty != 2*u.Penalty {
+			t.Errorf("step %d: weighted penalty = %g, want %g", i+1, w.Penalty, 2*u.Penalty)
+		}
+	}
+}
+
+// TestBadWeightParams: malformed or non-positive ws/wc are a 400 on
+// every endpoint that accepts them.
+func TestBadWeightParams(t *testing.T) {
+	srv := testServer(t)
+	for _, path := range []string{
+		"/search?q=" + escape("//book") + "&ws=0",
+		"/search?q=" + escape("//book") + "&wc=-1",
+		"/search?q=" + escape("//book") + "&ws=abc",
+		"/relaxations?q=" + escape("//book") + "&wc=0",
+		"/plan?q=" + escape("//book") + "&ws=-2",
+	} {
+		resp, _ := get(t, srv.URL+path)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+	// Valid weights work end to end.
+	resp, body := get(t, srv.URL+"/search?q="+escape(serveQuery)+"&k=5&ws=2&wc=3")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("weighted search: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestPlanCacheObservability: the plan-template cache must surface in
+// /stats (plan_cache block) and /metrics (flexpath_plancache_*), and a
+// repeated query shape under a different algorithm must register as a
+// template hit.
+func TestPlanCacheObservability(t *testing.T) {
+	srv := testServer(t)
+	for _, params := range []string{"&algo=hybrid", "&algo=sso"} {
+		if resp, body := get(t, srv.URL+"/search?q="+escape(serveQuery)+"&k=5"+params); resp.StatusCode != http.StatusOK {
+			t.Fatalf("search%s: status %d: %s", params, resp.StatusCode, body)
+		}
+	}
+	resp, body := get(t, srv.URL+"/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if st.PlanCache == nil {
+		t.Fatalf("stats missing plan_cache block: %s", body)
+	}
+	// Two searches of one shape: one template build, one hit.
+	if st.PlanCache.Misses != 1 || st.PlanCache.Hits != 1 {
+		t.Errorf("plan cache counters = %+v, want 1 miss / 1 hit", *st.PlanCache)
+	}
+	if st.PlanCache.Entries != 1 || st.PlanCache.Capacity <= 0 {
+		t.Errorf("plan cache size = %d/%d, want 1 entry and positive capacity", st.PlanCache.Entries, st.PlanCache.Capacity)
+	}
+
+	resp, body = get(t, srv.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"flexpath_plancache_hits_total 1",
+		"flexpath_plancache_misses_total 1",
+		"flexpath_plancache_evictions_total 0",
+		"flexpath_plancache_dedups_total 0",
+		"flexpath_plancache_entries 1",
+		"# TYPE flexpath_plancache_capacity gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

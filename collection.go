@@ -40,6 +40,11 @@ type Collection struct {
 	// "explicitly disabled" (capacity <= 0 disables new documents too).
 	docCacheCap int
 	docCacheSet bool
+	// planCacheCap/planCacheSet remember SetPlanCaches the same way, so
+	// later members get the collection's plan-cache sizing too. Unset
+	// leaves new documents on DefaultPlanCacheCapacity.
+	planCacheCap int
+	planCacheSet bool
 
 	// qc, when set, caches merged collection-level result sets; see
 	// SetCache. Any membership mutation purges it.
@@ -69,9 +74,13 @@ func (c *Collection) Add(name string, doc *Document) error {
 	c.names = append(c.names, name)
 	c.docs = append(c.docs, doc)
 	cacheSet, cacheCap := c.docCacheSet, c.docCacheCap
+	planSet, planCap := c.planCacheSet, c.planCacheCap
 	c.mu.Unlock()
 	if cacheSet {
 		doc.SetCache(cacheCap)
+	}
+	if planSet {
+		doc.SetPlanCache(planCap)
 	}
 	if qc := c.qc.Load(); qc != nil {
 		qc.Purge()
@@ -122,9 +131,13 @@ func (c *Collection) Replace(name string, doc *Document) error {
 	old := c.docs[i]
 	c.docs[i] = doc
 	cacheSet, cacheCap := c.docCacheSet, c.docCacheCap
+	planSet, planCap := c.planCacheSet, c.planCacheCap
 	c.mu.Unlock()
 	if cacheSet {
 		doc.SetCache(cacheCap)
+	}
+	if planSet {
+		doc.SetPlanCache(planCap)
 	}
 	if qc := c.qc.Load(); qc != nil {
 		qc.Purge()
@@ -213,6 +226,37 @@ func (c *Collection) SetDocumentCaches(capacity int) {
 	for _, d := range docs {
 		d.SetCache(capacity)
 	}
+}
+
+// SetPlanCaches resizes (or, with capacity <= 0, disables) the
+// plan-template cache of every member document; see
+// Document.SetPlanCache. The capacity is remembered: documents added or
+// swapped in later get the same plan-cache sizing, so PlanCacheStats
+// covers the whole live corpus.
+func (c *Collection) SetPlanCaches(capacity int) {
+	c.mu.Lock()
+	c.planCacheCap = capacity
+	c.planCacheSet = true
+	docs := append([]*Document(nil), c.docs...)
+	c.mu.Unlock()
+	for _, d := range docs {
+		d.SetPlanCache(capacity)
+	}
+}
+
+// PlanCacheStats sums the plan-template cache counters of every member
+// document whose plan cache is enabled; ok is false when none is.
+func (c *Collection) PlanCacheStats() (s PlanCacheStats, ok bool) {
+	var sum PlanCacheStats
+	any := false
+	_, docs := c.snapshot()
+	for _, d := range docs {
+		if ds, dok := d.PlanCacheStats(); dok {
+			sum.add(ds)
+			any = true
+		}
+	}
+	return sum, any
 }
 
 // CacheStats reports the collection-level cache counters; ok is false

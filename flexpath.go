@@ -34,7 +34,6 @@ import (
 	"os"
 	"sort"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -42,6 +41,7 @@ import (
 	"flexpath/internal/exec"
 	"flexpath/internal/ir"
 	"flexpath/internal/obs"
+	"flexpath/internal/plancache"
 	"flexpath/internal/planner"
 	"flexpath/internal/qcache"
 	"flexpath/internal/rank"
@@ -237,8 +237,14 @@ type Document struct {
 	// and feed their observed run times back into its calibrator.
 	pl *planner.Planner
 
-	mu     sync.Mutex
-	chains map[string]*core.Chain
+	// pc is the plan-template cache: a bounded, sharded LRU mapping the
+	// normalized (query, weights, hierarchy) triple to a core.Template
+	// (relaxation chain + memoized join plans + memoized prefix levels),
+	// with single-flight construction so concurrent misses on one shape
+	// build it exactly once. Enabled with DefaultPlanCacheCapacity by
+	// default; see SetPlanCache. Nil means disabled (every search builds
+	// a fresh template).
+	pc atomic.Pointer[plancache.Cache]
 
 	// qc, when set, caches finished top-K result sets keyed by the
 	// normalized query and search options; see SetCache.
@@ -320,9 +326,14 @@ func LoadAuto(path string) (*Document, error) {
 		return nil, err
 	}
 	defer f.Close()
+	// io.ReadFull, not Read: a plain Read may legally return fewer than 4
+	// bytes without an error even on a longer file, which would misroute
+	// a genuine snapshot to the XML parser. Files shorter than the magic
+	// (ErrUnexpectedEOF, or EOF for an empty file) cannot be snapshots
+	// and fall through to XML parsing, which reports its own error.
 	var magic [4]byte
-	n, err := f.Read(magic[:])
-	if err != nil && err != io.EOF {
+	n, err := io.ReadFull(f, magic[:])
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
 		return nil, err
 	}
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
@@ -368,15 +379,16 @@ func newDocument(t *xmltree.Document, o DocumentOptions) *Document {
 	ix := ir.NewIndexOptions(t, iopt)
 	st := stats.Collect(t)
 	est := stats.NewEstimator(st, ix)
-	return &Document{
-		tree:   t,
-		index:  ix,
-		stats:  st,
-		est:    est,
-		pl:     planner.New(est),
-		ev:     exec.NewEvaluator(t, ix),
-		chains: make(map[string]*core.Chain),
+	d := &Document{
+		tree:  t,
+		index: ix,
+		stats: st,
+		est:   est,
+		pl:    planner.New(est),
+		ev:    exec.NewEvaluator(t, ix),
 	}
+	d.pc.Store(plancache.New(DefaultPlanCacheCapacity))
+	return d
 }
 
 // Nodes returns the number of element nodes.
@@ -411,9 +423,14 @@ type Answer struct {
 
 // Snippet returns up to n bytes of the answer subtree's text, centered
 // on the first occurrence of the query's full-text terms when the query
-// has a contains predicate. Truncation never splits a multi-byte UTF-8
-// rune (a split rune would be mangled to U+FFFD by JSON encoding).
+// has a contains predicate. n <= 0 asks for no text and returns ""
+// (both snippet paths agree on this; neither emits a bare ellipsis).
+// Truncation never splits a multi-byte UTF-8 rune (a split rune would
+// be mangled to U+FFFD by JSON encoding).
 func (a Answer) Snippet(n int) string {
+	if n <= 0 {
+		return ""
+	}
 	if a.expr != nil {
 		return a.doc.index.Snippet(a.node, a.expr, n)
 	}
@@ -545,14 +562,18 @@ func (d *Document) SearchContext(ctx context.Context, q *Query, opts SearchOptio
 	if span != nil {
 		tChain = time.Now()
 	}
-	chain, err := d.chainH(q, opts.Weights, opts.Hierarchy)
+	// The StageChain span prices template acquisition: on a plan-cache hit
+	// it collapses to a cache lookup, which is the point of the cache.
+	tmpl, err := d.template(q, opts.Weights, opts.Hierarchy)
 	if span != nil {
 		span.Rec(obs.StageChain, time.Since(tChain))
 	}
 	if err != nil {
 		return nil, err
 	}
+	chain := tmpl.Chain
 	topts := topkOptions(ctx, opts)
+	topts.opts.Template = tmpl
 	var results []topkResult
 	algoName, algoReason := opts.Algorithm.String(), ""
 	switch opts.Algorithm {
@@ -687,12 +708,16 @@ func (d *Document) SetCache(capacity int) {
 	d.qc.Store(qcache.New(capacity))
 }
 
-// purgeCache discards the document cache's entries (keeping it enabled
-// and its counters intact). Collections call this when the document
-// leaves the corpus, so a long-gone member doesn't pin result sets.
+// purgeCache discards the document's cache entries — result sets and
+// plan templates — keeping both caches enabled and their counters
+// intact. Collections call this when the document leaves the corpus, so
+// a long-gone member doesn't pin result sets or join plans.
 func (d *Document) purgeCache() {
 	if qc := d.qc.Load(); qc != nil {
 		qc.Purge()
+	}
+	if pc := d.pc.Load(); pc != nil {
+		pc.Purge()
 	}
 }
 
@@ -784,12 +809,25 @@ type RelaxationStep struct {
 	Query string
 }
 
+// RelaxationsOpts configures Relaxations the same way SearchOptions
+// configures Search: the chain a search evaluates depends on both, so an
+// inspection of the chain must be able to match the search exactly. The
+// zero value means uniform unit weights and no type hierarchy.
+type RelaxationsOpts struct {
+	// Weights assigns the predicate weights the penalties and scores are
+	// computed under (the same field as SearchOptions.Weights).
+	Weights Weights
+	// Hierarchy maps tags to their supertype; see SearchOptions.Hierarchy.
+	Hierarchy map[string]string
+}
+
 // Relaxations returns the query's full relaxation chain over this
 // document: the ordered sequence of structure/contains relaxations, from
 // cheapest to most drastic, with their penalties. Level 0 (the exact
-// query) is not included.
+// query) is not included. Penalties and scores use uniform unit weights;
+// use RelaxationsWith to inspect the chain a weighted search evaluates.
 func (d *Document) Relaxations(q *Query) ([]RelaxationStep, error) {
-	return d.RelaxationsContext(context.Background(), q)
+	return d.RelaxationsWithContext(context.Background(), q, RelaxationsOpts{})
 }
 
 // RelaxationsContext is Relaxations with cancellation: the context is
@@ -797,13 +835,27 @@ func (d *Document) Relaxations(q *Query) ([]RelaxationStep, error) {
 // a timed-out request releases its worker instead of formatting a chain
 // nobody will read.
 func (d *Document) RelaxationsContext(ctx context.Context, q *Query) ([]RelaxationStep, error) {
+	return d.RelaxationsWithContext(ctx, q, RelaxationsOpts{})
+}
+
+// RelaxationsWith is Relaxations under explicit weights and hierarchy,
+// so the reported penalties and scores match what a Search with the same
+// options ranks by.
+func (d *Document) RelaxationsWith(q *Query, opts RelaxationsOpts) ([]RelaxationStep, error) {
+	return d.RelaxationsWithContext(context.Background(), q, opts)
+}
+
+// RelaxationsWithContext is RelaxationsWith with cancellation; see
+// RelaxationsContext.
+func (d *Document) RelaxationsWithContext(ctx context.Context, q *Query, opts RelaxationsOpts) ([]RelaxationStep, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	chain, err := d.chain(q, Weights{})
+	tmpl, err := d.template(q, opts.Weights, opts.Hierarchy)
 	if err != nil {
 		return nil, err
 	}
+	chain := tmpl.Chain
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -837,7 +889,7 @@ func (d *Document) ExplainPlanContext(ctx context.Context, q *Query, opts Search
 	if err := ctx.Err(); err != nil {
 		return "", err
 	}
-	chain, err := d.chainH(q, opts.Weights, opts.Hierarchy)
+	tmpl, err := d.template(q, opts.Weights, opts.Hierarchy)
 	if err != nil {
 		return "", err
 	}
@@ -845,7 +897,8 @@ func (d *Document) ExplainPlanContext(ctx context.Context, q *Query, opts Search
 		return "", err
 	}
 	b := topkOptions(ctx, opts)
-	return explainPlan(d, chain, b)
+	b.opts.Template = tmpl
+	return explainPlan(d, tmpl.Chain, b)
 }
 
 // AnalyzePlan executes the plan the Hybrid algorithm would run for the
@@ -856,41 +909,129 @@ func (d *Document) AnalyzePlan(q *Query, opts SearchOptions) (string, error) {
 	if opts.K <= 0 {
 		opts.K = 10
 	}
-	chain, err := d.chainH(q, opts.Weights, opts.Hierarchy)
+	tmpl, err := d.template(q, opts.Weights, opts.Hierarchy)
 	if err != nil {
 		return "", err
 	}
 	b := topkOptions(context.Background(), opts)
-	return analyzePlan(d, chain, b)
+	b.opts.Template = tmpl
+	return analyzePlan(d, tmpl.Chain, b)
 }
 
-func (d *Document) chain(q *Query, w Weights) (*core.Chain, error) {
-	return d.chainH(q, w, nil)
-}
+// DefaultPlanCacheCapacity is the plan-template cache capacity a new
+// Document starts with; see SetPlanCache. Entries are heavyweight (a
+// relaxation chain plus memoized join plans with their candidate lists),
+// so the default favors boundedness over reach.
+const DefaultPlanCacheCapacity = 256
 
-func (d *Document) chainH(q *Query, w Weights, hierarchy map[string]string) (*core.Chain, error) {
-	rw := w.rank()
-	var h *tpq.Hierarchy
-	if len(hierarchy) > 0 {
-		h = tpq.NewHierarchy(hierarchy)
+// SetPlanCache resizes the document's plan-template cache to hold up to
+// capacity templates; capacity <= 0 disables it (every search then
+// builds its chain and plans from scratch). Resizing installs a fresh
+// cache, discarding current entries and counters. Answers are identical
+// at every setting; the cache only amortizes chain building, relaxation
+// enumeration and plan construction across searches of the same shape.
+func (d *Document) SetPlanCache(capacity int) {
+	if capacity <= 0 {
+		d.pc.Store(nil)
+		return
 	}
-	// Length-prefix the canon like searchCacheKey does: a quoted term
-	// containing '|' must not alias two different (query, weights,
-	// hierarchy) triples onto one memoized chain.
+	d.pc.Store(plancache.New(capacity))
+}
+
+// PlanCacheStats reports the plan-template cache counters; ok is false
+// when the cache has been disabled with SetPlanCache(0).
+func (d *Document) PlanCacheStats() (s PlanCacheStats, ok bool) {
+	pc := d.pc.Load()
+	if pc == nil {
+		return PlanCacheStats{}, false
+	}
+	return planCacheStatsFrom(pc.Stats()), true
+}
+
+// PlanCacheStats is a snapshot of a plan-template cache's counters.
+type PlanCacheStats struct {
+	// Hits and Misses count template lookups; Evictions counts templates
+	// displaced by the LRU policy; Dedups counts lookups that coalesced
+	// onto another goroutine's in-flight build instead of building again
+	// (N concurrent misses on one query shape = 1 miss + N-1 dedups).
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Dedups    uint64 `json:"dedups"`
+	// Entries is the current size; Capacity the effective maximum (the
+	// configured capacity rounded up to whole entries per shard).
+	Entries  int `json:"entries"`
+	Capacity int `json:"capacity"`
+}
+
+func planCacheStatsFrom(s plancache.Stats) PlanCacheStats {
+	return PlanCacheStats{
+		Hits:      s.Hits,
+		Misses:    s.Misses,
+		Evictions: s.Evictions,
+		Dedups:    s.Dedups,
+		Entries:   s.Entries,
+		Capacity:  s.Capacity,
+	}
+}
+
+func (s *PlanCacheStats) add(o PlanCacheStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Dedups += o.Dedups
+	s.Entries += o.Entries
+	s.Capacity += o.Capacity
+}
+
+// templateKey is the plan-template cache key: everything that determines
+// a chain (and hence its plans). The canon is length-prefixed like
+// searchCacheKey's: a quoted term containing '|' must not alias two
+// different (query, weights, hierarchy) triples onto one template.
+func templateKey(q *Query, rw rank.Weights, hierarchy map[string]string) string {
 	canon := q.q.Canon()
-	key := fmt.Sprintf("%d:%s|%g|%g|%s", len(canon), canon, rw.Structural, rw.Contains, hierarchyKey(hierarchy))
-	d.mu.Lock()
-	c, ok := d.chains[key]
-	d.mu.Unlock()
-	if ok {
-		return c, nil
+	return fmt.Sprintf("%d:%s|%g|%g|%s", len(canon), canon, rw.Structural, rw.Contains, hierarchyKey(hierarchy))
+}
+
+// template returns the plan template for (q, w, hierarchy): the
+// relaxation chain plus memoized per-level plans and prefix levels.
+// With the plan cache enabled the template is shared across searches of
+// the same shape and built exactly once even under concurrent misses
+// (single-flight); with it disabled a fresh template is built per call
+// (still deduplicating work within the one search that holds it).
+func (d *Document) template(q *Query, w Weights, hierarchy map[string]string) (*core.Template, error) {
+	rw := w.rank()
+	build := func() (any, error) {
+		var h *tpq.Hierarchy
+		if len(hierarchy) > 0 {
+			h = tpq.NewHierarchy(hierarchy)
+		}
+		c, err := core.BuildChainH(d.tree, d.index, d.stats, rw, q.q, h)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewTemplate(c), nil
 	}
-	c, err := core.BuildChainH(d.tree, d.index, d.stats, rw, q.q, h)
+	if pc := d.pc.Load(); pc != nil {
+		v, err := pc.Do(templateKey(q, rw, hierarchy), build)
+		if err != nil {
+			return nil, err
+		}
+		return v.(*core.Template), nil
+	}
+	v, err := build()
 	if err != nil {
 		return nil, err
 	}
-	d.mu.Lock()
-	d.chains[key] = c
-	d.mu.Unlock()
-	return c, nil
+	return v.(*core.Template), nil
+}
+
+// chain returns the relaxation chain for (q, w); kept for callers that
+// need only the chain (benchmarks, Relaxations).
+func (d *Document) chain(q *Query, w Weights) (*core.Chain, error) {
+	t, err := d.template(q, w, nil)
+	if err != nil {
+		return nil, err
+	}
+	return t.Chain, nil
 }

@@ -97,6 +97,30 @@ type Plan struct {
 	// FirstOptional is the index of the first optional variable; all
 	// variables from it onward are optional.
 	FirstOptional int
+
+	// leafOnce/leafLists memoize the per-variable candidate lists. A plan
+	// shared across searches by the plan-template cache pays leaf
+	// evaluation once; later runs of the same plan reuse the lists. The
+	// memo is sound because a plan is immutable once built, the document
+	// is immutable, and Run never mutates the lists (joins only read
+	// them). Plans must not be copied by value once used.
+	leafOnce  sync.Once
+	leafLists [][]xmltree.NodeID
+}
+
+// leaves returns the memoized per-variable candidate lists, evaluating
+// them on first use (the evaluateLeaf of the paper's Hybrid pseudo-code:
+// the sorted nodes satisfying each variable's tag, value and required
+// contains predicates).
+func (p *Plan) leaves() [][]xmltree.NodeID {
+	p.leafOnce.Do(func() {
+		ls := make([][]xmltree.NodeID, len(p.Vars))
+		for vi := range p.Vars {
+			ls[vi] = evaluateLeaf(p.Doc, &p.Vars[vi])
+		}
+		p.leafLists = ls
+	})
+	return p.leafLists
 }
 
 // MinSS returns the lowest structural score any answer of this plan can
@@ -282,16 +306,13 @@ func Run(p *Plan, opts Options) []Answer {
 		}
 	}
 
-	// Evaluate each plan variable's "leaf": the sorted candidate list
-	// satisfying its tag(s), value predicates and required contains
-	// predicates (the evaluateLeaf of the paper's Hybrid pseudo-code).
-	leaves := make([][]xmltree.NodeID, nv)
-	for vi := range p.Vars {
-		if cancelled() {
-			return nil
-		}
-		leaves[vi] = evaluateLeaf(doc, &p.Vars[vi])
+	// The candidate lists are memoized on the plan (see Plan.leaves):
+	// the first run of a template-cached plan evaluates them, later runs
+	// start joining immediately.
+	if cancelled() {
+		return nil
 	}
+	leaves := p.leaves()
 
 	tuples := []tuple{{bind: unboundBindings(nv)}}
 	for vi := 0; vi < nv; vi++ {

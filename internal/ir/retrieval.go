@@ -67,6 +67,11 @@ func (ix *Index) TopContexts(tag string, e Expr, limit int) []Match {
 // (a split rune turns into U+FFFD under JSON encoding). It backs result
 // presentation in the CLI, the HTTP API and examples.
 func (ix *Index) Snippet(n xmltree.NodeID, e Expr, max int) string {
+	// A non-positive budget asks for no text: return "" rather than the
+	// bare ellipses the truncation paths below would degenerate to.
+	if max <= 0 {
+		return ""
+	}
 	text := ix.doc.SubtreeText(n)
 	if len(text) <= max {
 		return text

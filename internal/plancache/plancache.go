@@ -1,0 +1,234 @@
+// Package plancache provides the bounded, sharded LRU cache behind the
+// per-document plan-template memo, with single-flight construction.
+//
+// The old chain memo this package replaces was an unbounded map: under
+// production traffic with diverse query shapes it grew without limit, and
+// two concurrent misses on one key both built the chain (check-then-build
+// race). Here capacity is enforced per shard with LRU eviction, exactly
+// like the query-result cache (internal/qcache), and a miss runs its
+// builder under a per-key in-flight registration so concurrent misses on
+// the same key perform the build exactly once — the waiters block until
+// the winner finishes and share its value. Hit, miss, eviction and dedup
+// counters are cheap atomics suitable for /stats and /metrics.
+package plancache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	// Hits counts lookups served from the cache; Misses counts lookups
+	// that ran the builder.
+	Hits   uint64
+	Misses uint64
+	// Evictions counts entries displaced by the LRU policy.
+	Evictions uint64
+	// Dedups counts lookups that found another goroutine already
+	// building the same key and waited for its result instead of
+	// building again: N concurrent misses on one key score 1 miss and
+	// N-1 dedups.
+	Dedups uint64
+	// Entries is the current size; Capacity the effective maximum (the
+	// requested capacity rounded up to whole entries per shard, as in
+	// qcache.New).
+	Entries  int
+	Capacity int
+}
+
+// Cache is a bounded sharded LRU mapping string keys to opaque values,
+// with single-flight value construction. The zero value is not usable;
+// construct with New. All methods are safe for concurrent use.
+type Cache struct {
+	shards   []shard
+	capacity int
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	dedups    atomic.Uint64
+}
+
+type shard struct {
+	mu    sync.Mutex
+	items map[string]*list.Element
+	order *list.List // front = most recently used
+	cap   int
+	// inflight registers in-progress builds so concurrent misses on one
+	// key coalesce onto a single builder.
+	inflight map[string]*call
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+// call is one in-flight build; waiters block on done.
+type call struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// defaultShards matches qcache: enough to keep a GOMAXPROCS-wide worker
+// pool off one mutex without fragmenting small caches.
+const defaultShards = 16
+
+// New returns a cache holding at least capacity entries in total. A
+// capacity below 1 is treated as 1. Shard count adapts so every shard
+// holds at least one entry; as in qcache, eviction is per shard, so the
+// effective capacity is rounded up to a whole number of entries per
+// shard (Stats.Capacity reports the effective value).
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	shards := defaultShards
+	if capacity < shards {
+		shards = capacity
+	}
+	per := (capacity + shards - 1) / shards
+	c := &Cache{shards: make([]shard, shards), capacity: per * shards}
+	for i := range c.shards {
+		c.shards[i] = shard{
+			items:    make(map[string]*list.Element),
+			order:    list.New(),
+			cap:      per,
+			inflight: make(map[string]*call),
+		}
+	}
+	return c
+}
+
+// fnv1a is the 32-bit FNV-1a hash, inlined to keep shard selection
+// allocation-free.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	return &c.shards[fnv1a(key)%uint32(len(c.shards))]
+}
+
+// Do returns the value cached under key, building it with build on a
+// miss. Concurrent Do calls for the same key run build exactly once: the
+// first miss becomes the builder, later arrivals wait for its result
+// (counted as dedups, not misses). A successful build is inserted into
+// the LRU; build errors are returned to every waiter and never cached,
+// so the next miss retries.
+func (c *Cache) Do(key string, build func() (any, error)) (any, error) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.order.MoveToFront(el)
+		// Read the value inside the critical section (see qcache.Get).
+		val := el.Value.(*entry).val
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return val, nil
+	}
+	if cl, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		c.dedups.Add(1)
+		<-cl.done
+		return cl.val, cl.err
+	}
+	cl := &call{done: make(chan struct{})}
+	s.inflight[key] = cl
+	s.mu.Unlock()
+	c.misses.Add(1)
+
+	// The build runs outside the shard lock: chain and plan construction
+	// are the expensive operations this cache exists to amortize, and
+	// holding the lock would serialize unrelated keys behind them.
+	cl.val, cl.err = build()
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	evicted := false
+	if cl.err == nil {
+		if el, ok := s.items[key]; ok {
+			// Another goroutine inserted between our unlock and now (only
+			// possible via a racing Put-like path; keep the existing entry
+			// authoritative so all callers share one value).
+			cl.val = el.Value.(*entry).val
+			s.order.MoveToFront(el)
+		} else {
+			if s.order.Len() >= s.cap {
+				if back := s.order.Back(); back != nil {
+					delete(s.items, back.Value.(*entry).key)
+					s.order.Remove(back)
+					evicted = true
+				}
+			}
+			s.items[key] = s.order.PushFront(&entry{key: key, val: cl.val})
+		}
+	}
+	s.mu.Unlock()
+	close(cl.done)
+	if evicted {
+		c.evictions.Add(1)
+	}
+	return cl.val, cl.err
+}
+
+// Get returns the value cached under key without building on a miss.
+func (c *Cache) Get(key string) (any, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
+	var val any
+	if ok {
+		s.order.MoveToFront(el)
+		val = el.Value.(*entry).val
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return val, true
+}
+
+// Len returns the current number of cached entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Purge discards every entry. Counters and in-flight builds are
+// preserved (a build finishing after a purge inserts its fresh value).
+func (c *Cache) Purge() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.items = make(map[string]*list.Element)
+		s.order.Init()
+		s.mu.Unlock()
+	}
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Dedups:    c.dedups.Load(),
+		Entries:   c.Len(),
+		Capacity:  c.capacity,
+	}
+}

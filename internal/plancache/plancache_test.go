@@ -1,0 +1,210 @@
+package plancache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDoBuildsOnceAndHits(t *testing.T) {
+	c := New(8)
+	builds := 0
+	build := func() (any, error) { builds++; return "v", nil }
+	for i := 0; i < 5; i++ {
+		v, err := c.Do("k", build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != "v" {
+			t.Fatalf("got %v", v)
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("builds = %d, want 1", builds)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 4 || s.Entries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New(8)
+	calls := 0
+	boom := errors.New("boom")
+	build := func() (any, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return 42, nil
+	}
+	if _, err := c.Do("k", build); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("error was cached: len = %d", c.Len())
+	}
+	v, err := c.Do("k", build)
+	if err != nil || v != 42 {
+		t.Fatalf("retry got (%v, %v)", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+}
+
+// TestSingleflightDedup pins the exact counter semantics the issue asks
+// for: N goroutines missing the same key concurrently must observe
+// exactly one build, with the dedup counter at N-1. The builder blocks
+// until every other goroutine has registered as a waiter, making the
+// schedule deterministic.
+func TestSingleflightDedup(t *testing.T) {
+	const n = 16
+	c := New(8)
+	builds := 0
+	release := make(chan struct{})
+	build := func() (any, error) {
+		builds++
+		// Wait (bounded) for the other n-1 goroutines to attach.
+		deadline := time.Now().Add(5 * time.Second)
+		for c.Stats().Dedups < n-1 {
+			if time.Now().After(deadline) {
+				return nil, errors.New("waiters never arrived")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		close(release)
+		return "built", nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	vals := make([]any, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], errs[i] = c.Do("k", build)
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case <-release:
+	default:
+		t.Fatal("builder never released")
+	}
+	if builds != 1 {
+		t.Fatalf("builds = %d, want 1", builds)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil || vals[i] != "built" {
+			t.Fatalf("goroutine %d got (%v, %v)", i, vals[i], errs[i])
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", s.Misses)
+	}
+	if s.Dedups != n-1 {
+		t.Fatalf("dedups = %d, want %d", s.Dedups, n-1)
+	}
+}
+
+// TestBounded holds the memory-leak regression line: far more distinct
+// keys than capacity must leave the entry count at the capacity bound,
+// with the overflow visible as evictions.
+func TestBounded(t *testing.T) {
+	const capacity, keys = 64, 10000
+	c := New(capacity)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if _, err := c.Do(k, func() (any, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Entries > s.Capacity {
+		t.Fatalf("entries %d exceed capacity %d", s.Entries, s.Capacity)
+	}
+	if s.Capacity < capacity || s.Capacity >= 2*capacity {
+		t.Fatalf("effective capacity %d not near requested %d", s.Capacity, capacity)
+	}
+	if want := uint64(keys) - uint64(s.Entries); s.Evictions != want {
+		t.Fatalf("evictions = %d, want %d", s.Evictions, want)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	// One shard (capacity 1 rounds to a single 1-entry shard... use a
+	// single-shard cache of 2 via New(2) only if both keys land in the
+	// same shard; instead drive the policy through a capacity-1 cache).
+	c := New(1)
+	c.Do("a", func() (any, error) { return 1, nil }) //nolint:errcheck
+	c.Do("b", func() (any, error) { return 2, nil }) //nolint:errcheck
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should have been evicted by b")
+	}
+	if v, ok := c.Get("b"); !ok || v != 2 {
+		t.Fatalf("b missing: (%v, %v)", v, ok)
+	}
+	if s := c.Stats(); s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New(8)
+	c.Do("a", func() (any, error) { return 1, nil }) //nolint:errcheck
+	c.Do("b", func() (any, error) { return 2, nil }) //nolint:errcheck
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("len = %d after purge", c.Len())
+	}
+	// Counters survive the purge.
+	if s := c.Stats(); s.Misses != 2 {
+		t.Fatalf("misses = %d, want 2", s.Misses)
+	}
+	builds := 0
+	c.Do("a", func() (any, error) { builds++; return 1, nil }) //nolint:errcheck
+	if builds != 1 {
+		t.Fatal("purged entry not rebuilt")
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	c := New(100) // 16 shards * ceil(100/16)=7 -> 112
+	if got := c.Stats().Capacity; got != 112 {
+		t.Fatalf("effective capacity = %d, want 112", got)
+	}
+	if got := New(0).Stats().Capacity; got != 1 {
+		t.Fatalf("capacity(0) = %d, want 1", got)
+	}
+}
+
+// TestConcurrentMixed hammers the cache from many goroutines over an
+// overlapping key space; run under -race this exercises the
+// hit/miss/dedup/evict interleavings.
+func TestConcurrentMixed(t *testing.T) {
+	c := New(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("key-%d", (g*7+i)%100)
+				v, err := c.Do(k, func() (any, error) { return k, nil })
+				if err != nil || v != k {
+					t.Errorf("Do(%s) = (%v, %v)", k, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > c.Stats().Capacity {
+		t.Fatalf("len %d exceeds capacity", c.Len())
+	}
+}

@@ -169,15 +169,19 @@ func New(est *stats.Estimator) *Planner {
 
 // Choose predicts the cheapest algorithm for one top-K search over the
 // chain. It never fails: when the encoded plan cannot be built it falls
-// back to DPO and lets DPO surface the error.
-func (p *Planner) Choose(chain *core.Chain, k int, scheme rank.Scheme) Choice {
+// back to DPO and lets DPO surface the error. A non-nil template
+// memoizes the admitting level and the encoded plan across searches of
+// the same shape (and shares them with the dispatched algorithm within
+// one search), so repeated Auto queries skip the per-level estimator
+// loop and the plan build here — the work obs.StagePlan prices.
+func (p *Planner) Choose(chain *core.Chain, tmpl *core.Template, k int, scheme rank.Scheme) Choice {
 	if k < 1 {
 		k = 1
 	}
-	c := Choice{Level: p.admittingLevel(chain, k, scheme)}
+	c := Choice{Level: p.admittingLevel(chain, tmpl, k, scheme)}
 	c.Units[DPO] = p.dpoUnits(chain, c.Level, scheme)
 
-	plan, err := chain.PlanAt(c.Level)
+	plan, err := planAt(chain, tmpl, c.Level)
 	if err != nil {
 		c.Algo, c.Reason = DPO, ReasonPlanError
 		c.Explain = fmt.Sprintf("level %d plan failed (%v); falling back to DPO", c.Level, err)
@@ -273,29 +277,49 @@ func (p *Planner) restartRate() float64 {
 	return p.restarts.v
 }
 
+// planAt builds the encoded plan for the level, through the template's
+// memo when one is attached.
+func planAt(chain *core.Chain, tmpl *core.Template, level int) (*exec.Plan, error) {
+	if tmpl != nil {
+		return tmpl.PlanAt(level)
+	}
+	return chain.PlanAt(level)
+}
+
 // admittingLevel predicts the smallest chain prefix whose relaxed query
 // is estimated to produce at least k answers, mirroring the prefix rule
 // the plan-based algorithms use (keyword-first must encode the whole
-// chain; the combined scheme extends the prefix per §5.1).
-func (p *Planner) admittingLevel(chain *core.Chain, k int, scheme rank.Scheme) int {
-	if scheme == rank.KeywordFirst {
-		return chain.Len()
-	}
-	j := 0
-	for ; j <= chain.Len(); j++ {
-		if p.est.Estimate(chain.QueryAt(j)) >= float64(k) {
-			break
+// chain; the combined scheme extends the prefix per §5.1). The rule is
+// deliberately identical to topk's choosePrefix, so with a template
+// attached the two share one memoized level per (K, scheme).
+func (p *Planner) admittingLevel(chain *core.Chain, tmpl *core.Template, k int, scheme rank.Scheme) int {
+	key := core.LevelKey{K: k, Scheme: scheme}
+	if tmpl != nil {
+		if j, ok := tmpl.Level(key); ok {
+			return j
 		}
 	}
-	if j > chain.Len() {
-		j = chain.Len()
-	}
-	if scheme == rank.Combined {
-		m := float64(chain.Original.NumContains())
-		base := chain.SSAt(j)
-		for j < chain.Len() && chain.SSAt(j+1) > base-m {
-			j++
+	j := chain.Len()
+	if scheme != rank.KeywordFirst {
+		j = 0
+		for ; j <= chain.Len(); j++ {
+			if p.est.Estimate(chain.QueryAt(j)) >= float64(k) {
+				break
+			}
 		}
+		if j > chain.Len() {
+			j = chain.Len()
+		}
+		if scheme == rank.Combined {
+			m := float64(chain.Original.NumContains())
+			base := chain.SSAt(j)
+			for j < chain.Len() && chain.SSAt(j+1) > base-m {
+				j++
+			}
+		}
+	}
+	if tmpl != nil {
+		tmpl.SetLevel(key, j)
 	}
 	return j
 }

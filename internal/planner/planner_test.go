@@ -63,7 +63,7 @@ func TestChooseDeterministicAndCounted(t *testing.T) {
 	f := newFixture(t)
 	chain := f.chain(t, srcQ1)
 	p := New(f.est)
-	first := p.Choose(chain, 3, rank.StructureFirst)
+	first := p.Choose(chain, nil, 3, rank.StructureFirst)
 	if first.Reason != ReasonMinCost {
 		t.Fatalf("reason = %q, want %q", first.Reason, ReasonMinCost)
 	}
@@ -73,7 +73,7 @@ func TestChooseDeterministicAndCounted(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		// Without observations the model is static: same query, same
 		// choice.
-		if c := p.Choose(chain, 3, rank.StructureFirst); c.Algo != first.Algo || c.Level != first.Level {
+		if c := p.Choose(chain, nil, 3, rank.StructureFirst); c.Algo != first.Algo || c.Level != first.Level {
 			t.Fatalf("choice flapped without observations: %+v vs %+v", c, first)
 		}
 	}
@@ -94,17 +94,17 @@ func TestAdmittingLevelMatchesEstimator(t *testing.T) {
 	chain := f.chain(t, srcQ1)
 	p := New(f.est)
 	// keyword-first must encode the whole chain.
-	if c := p.Choose(chain, 2, rank.KeywordFirst); c.Level != chain.Len() {
+	if c := p.Choose(chain, nil, 2, rank.KeywordFirst); c.Level != chain.Len() {
 		t.Errorf("keyword-first level = %d, want %d", c.Level, chain.Len())
 	}
 	// A huge K exhausts the chain.
-	if c := p.Choose(chain, 1<<20, rank.StructureFirst); c.Level != chain.Len() {
+	if c := p.Choose(chain, nil, 1<<20, rank.StructureFirst); c.Level != chain.Len() {
 		t.Errorf("huge-K level = %d, want %d", c.Level, chain.Len())
 	}
 	// Levels are monotone in K.
 	prev := 0
 	for _, k := range []int{1, 2, 4, 8, 16} {
-		c := p.Choose(chain, k, rank.StructureFirst)
+		c := p.Choose(chain, nil, k, rank.StructureFirst)
 		if c.Level < prev {
 			t.Errorf("level decreased at K=%d: %d < %d", k, c.Level, prev)
 		}
@@ -116,12 +116,12 @@ func TestCalibrationPullsChoice(t *testing.T) {
 	f := newFixture(t)
 	chain := f.chain(t, srcQ1)
 	p := New(f.est)
-	first := p.Choose(chain, 3, rank.StructureFirst)
+	first := p.Choose(chain, nil, 3, rank.StructureFirst)
 	// Feed grossly slow observations for the chosen algorithm: its
 	// calibrated ns-per-unit must grow until the planner switches away.
 	switched := false
 	for i := 0; i < 20; i++ {
-		c := p.Choose(chain, 3, rank.StructureFirst)
+		c := p.Choose(chain, nil, 3, rank.StructureFirst)
 		if c.Algo != first.Algo {
 			switched = true
 			break
@@ -144,7 +144,7 @@ func TestCalibrationErrorShrinksOnStableRuntimes(t *testing.T) {
 	f := newFixture(t)
 	chain := f.chain(t, srcQ1)
 	p := New(f.est)
-	c := p.Choose(chain, 3, rank.StructureFirst)
+	c := p.Choose(chain, nil, 3, rank.StructureFirst)
 	for i := 0; i < 30; i++ {
 		p.Observe(c, 5*time.Millisecond, 0)
 	}
@@ -164,7 +164,7 @@ func TestRestartGuardDemotesToDPO(t *testing.T) {
 	f := newFixture(t)
 	chain := f.chain(t, srcQ1)
 	p := New(f.est)
-	c := p.Choose(chain, 3, rank.StructureFirst)
+	c := p.Choose(chain, nil, 3, rank.StructureFirst)
 	if c.Algo == DPO {
 		t.Skip("model already picks DPO for this fixture; guard unobservable")
 	}
@@ -174,7 +174,7 @@ func TestRestartGuardDemotesToDPO(t *testing.T) {
 	for i := 0; i < guardMinRuns+2; i++ {
 		p.Observe(c, time.Nanosecond, 3)
 	}
-	g := p.Choose(chain, 3, rank.StructureFirst)
+	g := p.Choose(chain, nil, 3, rank.StructureFirst)
 	if g.Algo != DPO || g.Reason != ReasonRestartGuard {
 		t.Fatalf("guard did not demote: algo=%v reason=%q", g.Algo, g.Reason)
 	}

@@ -19,7 +19,7 @@ import (
 // under obs.StagePlan.
 func Auto(ev *exec.Evaluator, chain *core.Chain, est *stats.Estimator, pl *planner.Planner, opts Options) ([]Result, planner.Choice) {
 	tPlan := time.Now()
-	choice := pl.Choose(chain, opts.K, opts.Scheme)
+	choice := pl.Choose(chain, opts.Template, opts.K, opts.Scheme)
 	opts.Span.Rec(obs.StagePlan, time.Since(tPlan))
 
 	start := time.Now()

@@ -86,6 +86,29 @@ type Options struct {
 	// record join/plan execution time under obs.StageJoin. A nil span
 	// costs one pointer check per plan run.
 	Span *obs.Span
+	// Template, when non-nil, memoizes the per-level join plans and the
+	// estimator-chosen prefix levels across runs of the same (query,
+	// weights, hierarchy) triple (see core.Template). Answers are
+	// identical with or without it; only repeated work disappears.
+	Template *core.Template
+}
+
+// planAt returns the scored plan for prefix j, through the template's
+// memo when one is attached.
+func (o *Options) planAt(chain *core.Chain, j int) (*exec.Plan, error) {
+	if o.Template != nil {
+		return o.Template.PlanAt(j)
+	}
+	return chain.PlanAt(j)
+}
+
+// exactPlanAt returns the exact-evaluation plan for level j, through the
+// template's memo when one is attached.
+func (o *Options) exactPlanAt(chain *core.Chain, j int) (*exec.Plan, error) {
+	if o.Template != nil {
+		return o.Template.ExactPlanAt(j)
+	}
+	return chain.ExactPlanAt(j)
 }
 
 // timeJoin runs fn, charging its duration to the span's join stage.
@@ -157,7 +180,7 @@ func dpo(ev *exec.Evaluator, chain *core.Chain, opts Options, semijoin bool) []R
 		var plan *exec.Plan
 		if !semijoin {
 			var err error
-			plan, err = chain.ExactPlanAt(level)
+			plan, err = opts.exactPlanAt(chain, level)
 			if err != nil {
 				// A level whose plan cannot be built was never evaluated:
 				// bail before touching the work counters, so DPO and
@@ -278,7 +301,7 @@ func planBased(chain *core.Chain, est *stats.Estimator, opts Options, mode exec.
 		if opts.cancelled() {
 			return nil
 		}
-		plan, err := chain.PlanAt(j)
+		plan, err := opts.planAt(chain, j)
 		if err != nil {
 			return nil
 		}
@@ -299,6 +322,13 @@ func planBased(chain *core.Chain, est *stats.Estimator, opts Options, mode exec.
 			return nil
 		}
 		if len(answers) >= k || j >= chain.Len() {
+			// Remember the level that actually produced K answers: a
+			// later search with the same K skips the restarts (the final
+			// round's plan run fully determines the output, so answers
+			// are unchanged).
+			if opts.Template != nil {
+				opts.Template.SetLevel(core.LevelKey{K: k, Scheme: opts.Scheme}, j)
+			}
 			return toResults(chain, answers, opts, k)
 		}
 		// Selectivity estimate was too optimistic: drop more predicates
@@ -314,7 +344,7 @@ func planBased(chain *core.Chain, est *stats.Estimator, opts Options, mode exec.
 func Explain(chain *core.Chain, est *stats.Estimator, opts Options) (string, error) {
 	m := opts.metrics()
 	j := choosePrefix(chain, est, opts, m)
-	plan, err := chain.PlanAt(j)
+	plan, err := opts.planAt(chain, j)
 	if err != nil {
 		return "", err
 	}
@@ -334,7 +364,7 @@ func Explain(chain *core.Chain, est *stats.Estimator, opts Options) (string, err
 func Analyze(chain *core.Chain, est *stats.Estimator, opts Options) (string, error) {
 	m := opts.metrics()
 	j := choosePrefix(chain, est, opts, m)
-	plan, err := chain.PlanAt(j)
+	plan, err := opts.planAt(chain, j)
 	if err != nil {
 		return "", err
 	}
@@ -357,27 +387,40 @@ func Analyze(chain *core.Chain, est *stats.Estimator, opts Options) (string, err
 // choosePrefix picks how many relaxation steps to encode: the shortest
 // prefix whose relaxed query is estimated to produce at least K answers
 // (structure-first), extended per the §5.1 rule for the combined scheme;
-// the keyword-first scheme requires encoding the whole chain.
+// the keyword-first scheme requires encoding the whole chain. With a
+// template attached, the chosen level is memoized per (K, scheme), so
+// only the first search of a shape pays the per-level estimator loop —
+// and a restart-corrected level recorded by planBased is reused in
+// preference to re-deriving the (undershooting) estimate.
 func choosePrefix(chain *core.Chain, est *stats.Estimator, opts Options, m *Metrics) int {
-	if opts.Scheme == rank.KeywordFirst {
-		return chain.Len()
-	}
-	j := 0
-	for ; j <= chain.Len(); j++ {
-		m.EstimatorCalls++
-		if est.Estimate(chain.QueryAt(j)) >= float64(opts.K) {
-			break
+	key := core.LevelKey{K: opts.K, Scheme: opts.Scheme}
+	if opts.Template != nil {
+		if j, ok := opts.Template.Level(key); ok {
+			return j
 		}
 	}
-	if j > chain.Len() {
-		j = chain.Len()
-	}
-	if opts.Scheme == rank.Combined {
-		mC := float64(chain.Original.NumContains())
-		base := chain.SSAt(j)
-		for j < chain.Len() && chain.SSAt(j+1) > base-mC {
-			j++
+	j := chain.Len()
+	if opts.Scheme != rank.KeywordFirst {
+		j = 0
+		for ; j <= chain.Len(); j++ {
+			m.EstimatorCalls++
+			if est.Estimate(chain.QueryAt(j)) >= float64(opts.K) {
+				break
+			}
 		}
+		if j > chain.Len() {
+			j = chain.Len()
+		}
+		if opts.Scheme == rank.Combined {
+			mC := float64(chain.Original.NumContains())
+			base := chain.SSAt(j)
+			for j < chain.Len() && chain.SSAt(j+1) > base-mC {
+				j++
+			}
+		}
+	}
+	if opts.Template != nil {
+		opts.Template.SetLevel(key, j)
 	}
 	return j
 }

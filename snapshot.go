@@ -9,9 +9,9 @@ import (
 	"io"
 	"os"
 
-	"flexpath/internal/core"
 	"flexpath/internal/exec"
 	"flexpath/internal/ir"
+	"flexpath/internal/plancache"
 	"flexpath/internal/planner"
 	"flexpath/internal/stats"
 	"flexpath/internal/xmltree"
@@ -117,15 +117,16 @@ func LoadIndexedSnapshot(r io.Reader) (*Document, error) {
 		return nil, err
 	}
 	est := stats.NewEstimator(st, ix)
-	return &Document{
-		tree:   tree,
-		index:  ix,
-		stats:  st,
-		est:    est,
-		pl:     planner.New(est),
-		ev:     exec.NewEvaluator(tree, ix),
-		chains: make(map[string]*core.Chain),
-	}, nil
+	d := &Document{
+		tree:  tree,
+		index: ix,
+		stats: st,
+		est:   est,
+		pl:    planner.New(est),
+		ev:    exec.NewEvaluator(tree, ix),
+	}
+	d.pc.Store(plancache.New(DefaultPlanCacheCapacity))
+	return d, nil
 }
 
 // drain consumes any bytes a section reader left unread (the section
