@@ -1,18 +1,27 @@
 // Command benchdiff compares a flexbench -json run against a checked-in
-// baseline and fails on latency regressions. It is the CI perf gate:
+// baseline and fails on latency and allocation regressions. It is the CI
+// perf gate:
 //
 //	flexbench -fig gate -runs 5 -seed 42 -json current.json
 //	benchdiff -baseline bench_baseline.json -current current.json
 //
 // CI machines and the machine that produced the baseline differ in
-// speed, so raw ratios are useless. benchdiff normalizes: it computes
-// the current/baseline ratio of every timing column of every record,
-// takes the median ratio as the machine-speed factor, and judges each
-// measurement by its ratio relative to that median. A genuine
+// speed, so raw timing ratios are useless. benchdiff normalizes: it
+// computes the current/baseline ratio of every _ms column of every
+// record, takes the median ratio as the machine-speed factor, and judges
+// each measurement by its ratio relative to that median. A genuine
 // regression makes a few measurements slower than the rest moved; a
 // slower machine moves everything together and trips nothing.
 //
-//	benchdiff -update    # re-time the gate workload and rewrite the baseline
+// _allocs columns (allocations per operation) are machine-independent,
+// so they are judged by their raw ratio and excluded from the median
+// pool — an alloc regression cannot be masked by a fast machine, and
+// cannot skew the timing normalization. Because allocation counts are
+// also noise-free, they get their own, tighter thresholds (-allocfail,
+// default 1.25) than the timing columns (-fail, default 1.5): allocs
+// are the precise regression signal, timing the gross one.
+//
+//	benchdiff -update    # re-run the gate workload and rewrite the baseline
 package main
 
 import (
@@ -34,28 +43,41 @@ type benchFile struct {
 
 type measurement struct {
 	Key      string  `json:"key"` // "figure/query/K column"
-	Baseline float64 `json:"baseline_ms"`
-	Current  float64 `json:"current_ms"`
-	Ratio    float64 `json:"ratio"`      // raw current/baseline
-	Normal   float64 `json:"normalized"` // ratio / median ratio
-	Status   string  `json:"status"`     // "ok", "warn", "fail"
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	Ratio    float64 `json:"ratio"` // raw current/baseline
+	// Normal is the judged ratio: ratio / median timing ratio for _ms
+	// columns, the raw ratio for machine-independent _allocs columns.
+	Normal float64 `json:"normalized"`
+	Status string  `json:"status"` // "ok", "warn", "fail"
+	// Allocs marks an _allocs measurement (judged raw, not normalized).
+	Allocs bool `json:"allocs,omitempty"`
 }
 
 type report struct {
-	SpeedFactor  float64       `json:"speed_factor"` // median raw ratio
-	FailOver     float64       `json:"fail_over"`
-	WarnOver     float64       `json:"warn_over"`
-	Measurements []measurement `json:"measurements"`
-	Missing      []string      `json:"missing,omitempty"` // keys only one side has
-	Failed       bool          `json:"failed"`
+	SpeedFactor   float64       `json:"speed_factor"` // median raw ratio
+	FailOver      float64       `json:"fail_over"`
+	WarnOver      float64       `json:"warn_over"`
+	AllocFailOver float64       `json:"alloc_fail_over"`
+	AllocWarnOver float64       `json:"alloc_warn_over"`
+	Measurements  []measurement `json:"measurements"`
+	Missing       []string      `json:"missing,omitempty"` // keys only one side has
+	Failed        bool          `json:"failed"`
 }
 
-// recordKey identifies a record by its non-timing columns, so baseline
+// thresholds carries the fail/warn cutoffs: timing columns are judged on
+// their speed-normalized ratio, alloc columns on their raw ratio.
+type thresholds struct {
+	fail, warn           float64
+	allocFail, allocWarn float64
+}
+
+// recordKey identifies a record by its non-metric columns, so baseline
 // and current rows pair up no matter their order in the file.
 func recordKey(rec map[string]any) string {
 	keys := make([]string, 0, len(rec))
 	for k := range rec {
-		if strings.HasSuffix(k, "_ms") {
+		if strings.HasSuffix(k, "_ms") || strings.HasSuffix(k, "_allocs") {
 			continue
 		}
 		keys = append(keys, k)
@@ -81,11 +103,32 @@ func timings(rec map[string]any) map[string]float64 {
 	return out
 }
 
-func compare(baseline, current benchFile, failOver, warnOver float64) report {
-	r := report{FailOver: failOver, WarnOver: warnOver}
+// allocCounts extracts the _allocs columns. Unlike timings, zero is a
+// meaningful value (a fully arena-served operation allocates nothing),
+// so it is kept.
+func allocCounts(rec map[string]any) map[string]float64 {
+	out := map[string]float64{}
+	for k, v := range rec {
+		if !strings.HasSuffix(k, "_allocs") {
+			continue
+		}
+		if f, ok := v.(float64); ok && f >= 0 {
+			out[k] = f
+		}
+	}
+	return out
+}
+
+func compare(baseline, current benchFile, th thresholds) report {
+	r := report{FailOver: th.fail, WarnOver: th.warn,
+		AllocFailOver: th.allocFail, AllocWarnOver: th.allocWarn}
 	base := map[string]map[string]float64{}
 	for _, rec := range baseline.Records {
 		base[recordKey(rec)] = timings(rec)
+	}
+	baseAllocs := map[string]map[string]float64{}
+	for _, rec := range baseline.Records {
+		baseAllocs[recordKey(rec)] = allocCounts(rec)
 	}
 	seen := map[string]bool{}
 	var ratios []float64
@@ -116,6 +159,35 @@ func compare(baseline, current benchFile, failOver, warnOver float64) report {
 			ratios = append(ratios, m.Ratio)
 			r.Measurements = append(r.Measurements, m)
 		}
+		ba := baseAllocs[key]
+		curA := allocCounts(rec)
+		aCols := make([]string, 0, len(curA))
+		for col := range curA {
+			aCols = append(aCols, col)
+		}
+		sort.Strings(aCols)
+		for _, col := range aCols {
+			bv, ok := ba[col]
+			if !ok {
+				r.Missing = append(r.Missing, "baseline lacks: "+key+" "+col)
+				continue
+			}
+			m := measurement{Key: key + " " + col, Baseline: bv, Current: curA[col], Allocs: true}
+			switch {
+			case bv > 0:
+				m.Ratio = curA[col] / bv
+			case curA[col] == 0:
+				m.Ratio = 1 // 0 -> 0: unchanged
+			default:
+				m.Ratio = math.Inf(1) // 0 -> nonzero: new allocations appeared
+			}
+			r.Measurements = append(r.Measurements, m)
+		}
+		for col := range ba {
+			if _, ok := curA[col]; !ok {
+				r.Missing = append(r.Missing, "current lacks: "+key+" "+col)
+			}
+		}
 	}
 	for key := range base {
 		if !seen[key] {
@@ -131,12 +203,20 @@ func compare(baseline, current benchFile, failOver, warnOver float64) report {
 	r.SpeedFactor = ratios[len(ratios)/2]
 	for i := range r.Measurements {
 		m := &r.Measurements[i]
-		m.Normal = m.Ratio / r.SpeedFactor
+		fail, warn := th.fail, th.warn
+		if m.Allocs {
+			// Allocation counts do not scale with machine speed: judge
+			// the raw ratio, against the tighter alloc thresholds.
+			m.Normal = m.Ratio
+			fail, warn = th.allocFail, th.allocWarn
+		} else {
+			m.Normal = m.Ratio / r.SpeedFactor
+		}
 		switch {
-		case m.Normal > failOver:
+		case m.Normal > fail:
 			m.Status = "fail"
 			r.Failed = true
-		case m.Normal > warnOver:
+		case m.Normal > warn:
 			m.Status = "warn"
 		default:
 			m.Status = "ok"
@@ -169,8 +249,10 @@ func readBench(path string) (benchFile, error) {
 func main() {
 	baselinePath := flag.String("baseline", "bench_baseline.json", "checked-in baseline file")
 	currentPath := flag.String("current", "", "flexbench -json output to judge")
-	failOver := flag.Float64("fail", 1.25, "fail when a normalized ratio exceeds this")
-	warnOver := flag.Float64("warn", 1.10, "warn when a normalized ratio exceeds this")
+	failOver := flag.Float64("fail", 1.5, "fail when a normalized timing ratio exceeds this")
+	warnOver := flag.Float64("warn", 1.15, "warn when a normalized timing ratio exceeds this")
+	allocFail := flag.Float64("allocfail", 1.25, "fail when a raw allocs/op ratio exceeds this")
+	allocWarn := flag.Float64("allocwarn", 1.10, "warn when a raw allocs/op ratio exceeds this")
 	outPath := flag.String("out", "", "also write the diff report as JSON to this file")
 	update := flag.Bool("update", false, "re-run the gate workload and rewrite the baseline")
 	runs := flag.Int("runs", 5, "timed runs for -update")
@@ -205,7 +287,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	r := compare(baseline, current, *failOver, *warnOver)
+	r := compare(baseline, current, thresholds{
+		fail: *failOver, warn: *warnOver,
+		allocFail: *allocFail, allocWarn: *allocWarn,
+	})
 	fmt.Printf("machine speed factor (median ratio): %.3f\n", r.SpeedFactor)
 	fmt.Printf("%-40s %10s %10s %8s %8s %s\n",
 		"measurement", "base_ms", "cur_ms", "ratio", "norm", "status")
@@ -232,8 +317,9 @@ func main() {
 		for _, m := range r.Measurements {
 			worst = math.Max(worst, m.Normal)
 		}
-		fmt.Printf("FAIL: regression gate tripped (worst normalized ratio %.3f > %.2f, "+
-			"or gate workload changed without -update)\n", worst, *failOver)
+		fmt.Printf("FAIL: regression gate tripped (worst normalized ratio %.3f, "+
+			"thresholds %.2f timing / %.2f allocs, "+
+			"or gate workload changed without -update)\n", worst, *failOver, *allocFail)
 		os.Exit(1)
 	}
 	fmt.Println("OK: no regression beyond threshold")

@@ -5,6 +5,10 @@ import (
 	"testing"
 )
 
+// testThresholds pins the historical cutoffs the expectations below were
+// written against (tighter than the shipping timing defaults).
+var testThresholds = thresholds{fail: 1.25, warn: 1.10, allocFail: 1.25, allocWarn: 1.10}
+
 func gateFile(scale float64, perturb map[string]float64) benchFile {
 	var recs []map[string]any
 	for _, q := range []string{"XQ1", "XQ2"} {
@@ -24,7 +28,7 @@ func gateFile(scale float64, perturb map[string]float64) benchFile {
 }
 
 func TestCompareIdentical(t *testing.T) {
-	r := compare(gateFile(1, nil), gateFile(1, nil), 1.25, 1.10)
+	r := compare(gateFile(1, nil), gateFile(1, nil), testThresholds)
 	if r.Failed {
 		t.Fatalf("identical runs failed: %+v", r)
 	}
@@ -38,7 +42,7 @@ func TestCompareIdentical(t *testing.T) {
 // TestCompareSlowerMachine: a uniformly 3x slower machine must pass —
 // the median normalization absorbs machine speed.
 func TestCompareSlowerMachine(t *testing.T) {
-	r := compare(gateFile(1, nil), gateFile(3, nil), 1.25, 1.10)
+	r := compare(gateFile(1, nil), gateFile(3, nil), testThresholds)
 	if r.Failed {
 		t.Fatalf("uniform slowdown tripped the gate: %+v", r)
 	}
@@ -51,7 +55,7 @@ func TestCompareSlowerMachine(t *testing.T) {
 // hold must fail, even on a slower machine.
 func TestCompareLocalRegression(t *testing.T) {
 	cur := gateFile(2, map[string]float64{"XQ2/SSO_ms": 2.0})
-	r := compare(gateFile(1, nil), cur, 1.25, 1.10)
+	r := compare(gateFile(1, nil), cur, testThresholds)
 	if !r.Failed {
 		t.Fatal("2x local regression passed the gate")
 	}
@@ -72,7 +76,7 @@ func TestCompareLocalRegression(t *testing.T) {
 // TestCompareWarnBand: a 15% local slowdown warns but does not fail.
 func TestCompareWarnBand(t *testing.T) {
 	cur := gateFile(1, map[string]float64{"XQ1/DPO_ms": 1.15})
-	r := compare(gateFile(1, nil), cur, 1.25, 1.10)
+	r := compare(gateFile(1, nil), cur, testThresholds)
 	if r.Failed {
 		t.Fatalf("15%% slowdown failed the gate: %+v", r)
 	}
@@ -93,7 +97,7 @@ func TestCompareWarnBand(t *testing.T) {
 func TestCompareMissingRows(t *testing.T) {
 	cur := gateFile(1, nil)
 	cur.Records = cur.Records[:len(cur.Records)-1]
-	r := compare(gateFile(1, nil), cur, 1.25, 1.10)
+	r := compare(gateFile(1, nil), cur, testThresholds)
 	if !r.Failed {
 		t.Fatal("dropped row passed the gate")
 	}
@@ -105,6 +109,95 @@ func TestCompareMissingRows(t *testing.T) {
 func TestRecordKeyIgnoresTimings(t *testing.T) {
 	a := map[string]any{"figure": "gate", "query": "XQ1", "K": 50.0, "DPO_ms": 1.0}
 	b := map[string]any{"figure": "gate", "query": "XQ1", "K": 50.0, "DPO_ms": 9.9}
+	if recordKey(a) != recordKey(b) {
+		t.Errorf("keys differ: %q vs %q", recordKey(a), recordKey(b))
+	}
+}
+
+// allocFile builds a gate-shaped file with one alloc column per record.
+func allocFile(scale float64, allocs map[string]float64) benchFile {
+	bf := gateFile(scale, nil)
+	for _, rec := range bf.Records {
+		q := rec["query"].(string)
+		v := 1000.0
+		if a, ok := allocs[q]; ok {
+			v = a
+		}
+		rec["DPO_allocs"] = v
+	}
+	return bf
+}
+
+// TestCompareAllocsRawRatio: alloc counts are machine-independent, so a
+// 3x slower machine with identical allocs passes, while a 2x alloc
+// growth fails even though every timing moved together.
+func TestCompareAllocsRawRatio(t *testing.T) {
+	base := allocFile(1, nil)
+	cur := allocFile(3, nil) // slower machine, same allocs
+	r := compare(base, cur, testThresholds)
+	if r.Failed {
+		t.Fatalf("identical allocs on a slower machine tripped the gate: %+v", r)
+	}
+	cur = allocFile(3, map[string]float64{"XQ2": 2000})
+	r = compare(base, cur, testThresholds)
+	if !r.Failed {
+		t.Fatal("2x alloc regression passed the gate")
+	}
+	for _, m := range r.Measurements {
+		if m.Status == "fail" && !strings.Contains(m.Key, "_allocs") {
+			t.Errorf("non-alloc measurement flagged: %s", m.Key)
+		}
+	}
+}
+
+// TestCompareAllocsZeroBaseline: 0 -> 0 is unchanged; 0 -> nonzero is an
+// infinite-ratio failure (new allocations appeared on an alloc-free row).
+func TestCompareAllocsZeroBaseline(t *testing.T) {
+	base := allocFile(1, map[string]float64{"XQ1": 0, "XQ2": 0})
+	same := allocFile(1, map[string]float64{"XQ1": 0, "XQ2": 0})
+	if r := compare(base, same, testThresholds); r.Failed {
+		t.Fatalf("0->0 allocs tripped the gate: %+v", r)
+	}
+	cur := allocFile(1, map[string]float64{"XQ1": 0, "XQ2": 5})
+	if r := compare(base, cur, testThresholds); !r.Failed {
+		t.Fatal("0->5 allocs passed the gate")
+	}
+}
+
+// TestCompareAllocsExcludedFromMedian: alloc ratios must not feed the
+// machine-speed median, or a uniform alloc improvement would make the
+// unchanged timings look like regressions.
+func TestCompareAllocsExcludedFromMedian(t *testing.T) {
+	base := allocFile(1, nil)
+	cur := allocFile(1, map[string]float64{"XQ1": 100, "XQ2": 100}) // 10x fewer allocs
+	r := compare(base, cur, testThresholds)
+	if r.Failed {
+		t.Fatalf("alloc improvement tripped the gate: %+v", r)
+	}
+	if r.SpeedFactor < 0.99 || r.SpeedFactor > 1.01 {
+		t.Errorf("speed factor = %v, want ~1 (allocs leaked into the median)", r.SpeedFactor)
+	}
+}
+
+// TestCompareDistinctThresholds: with the shipping defaults (timing 1.5,
+// allocs 1.25) a 1.4x local timing drift — routine on noisy CI hardware —
+// passes, while the same 1.4x growth in the noise-free allocs/op fails.
+func TestCompareDistinctThresholds(t *testing.T) {
+	ship := thresholds{fail: 1.5, warn: 1.15, allocFail: 1.25, allocWarn: 1.10}
+	cur := gateFile(1, map[string]float64{"XQ1/DPO_ms": 1.4})
+	if r := compare(gateFile(1, nil), cur, ship); r.Failed {
+		t.Fatalf("1.4x timing drift failed the shipping gate: %+v", r)
+	}
+	base := allocFile(1, nil)
+	aCur := allocFile(1, map[string]float64{"XQ2": 1400})
+	if r := compare(base, aCur, ship); !r.Failed {
+		t.Fatal("1.4x alloc growth passed the shipping gate")
+	}
+}
+
+func TestRecordKeyIgnoresAllocs(t *testing.T) {
+	a := map[string]any{"figure": "gate", "query": "XQ1", "K": 50.0, "DPO_allocs": 10.0}
+	b := map[string]any{"figure": "gate", "query": "XQ1", "K": 50.0, "DPO_allocs": 99.0}
 	if recordKey(a) != recordKey(b) {
 		t.Errorf("keys differ: %q vs %q", recordKey(a), recordKey(b))
 	}

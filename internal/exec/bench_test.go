@@ -76,3 +76,80 @@ func BenchmarkEvaluateIRFirst(b *testing.B) {
 		ev.EvaluateIRFirst(q)
 	}
 }
+
+// benchKernels compares each batched kernel (wrapper and arena-Into form)
+// against its retained scalar oracle on one (outer, inner) pair. Run with
+// -benchmem: the into/ variants should report 0 allocs/op once the arena
+// chunk is warm.
+func benchKernels(b *testing.B, d *xmltree.Document, outer, inner []xmltree.NodeID) {
+	a := NewArena()
+	for _, kc := range kernelCases {
+		b.Run("scalar/"+kc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				kc.scalar(d, outer, inner)
+			}
+		})
+		b.Run("batch/"+kc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				kc.batch(d, outer, inner)
+			}
+		})
+		b.Run("into/"+kc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a.Reset()
+				kc.into(a, a.Nodes(len(outer)), d, outer, inner)
+			}
+		})
+	}
+}
+
+func BenchmarkJoinKernels(b *testing.B) {
+	d := benchTree(b)
+	benchKernels(b, d, d.NodesWithTag("a"), d.NodesWithTag("b"))
+}
+
+// BenchmarkJoinKernelsSkewed joins a short outer list against a long
+// inner list — the regime where galloping's logarithmic probes beat both
+// the scalar per-element binary search and a plain linear merge.
+func BenchmarkJoinKernelsSkewed(b *testing.B) {
+	d := benchTree(b)
+	all := make([]xmltree.NodeID, d.Len())
+	for i := range all {
+		all[i] = xmltree.NodeID(i)
+	}
+	outer := d.NodesWithTag("a")
+	short := outer[:len(outer)/64]
+	benchKernels(b, d, short, all)
+}
+
+func BenchmarkDescendantsInRange(b *testing.B) {
+	d := benchTree(b)
+	list := d.NodesWithTag("b")
+	anchors := d.NodesWithTag("a")
+	// narrow: each anchor's subtree holds a handful of list nodes — the
+	// regime where the old linear upper-bound scan was already cheap.
+	b.Run("narrow/scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			scalarDescendantsInRange(d, list, anchors[i%len(anchors)])
+		}
+	})
+	b.Run("narrow/gallop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			DescendantsInRange(d, list, anchors[i%len(anchors)])
+		}
+	})
+	// wide: the anchor is the document root, so the linear scan walks the
+	// entire list while the galloped upper bound stays logarithmic.
+	root := xmltree.NodeID(0)
+	b.Run("wide/scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			scalarDescendantsInRange(d, list, root)
+		}
+	})
+	b.Run("wide/gallop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			DescendantsInRange(d, list, root)
+		}
+	})
+}

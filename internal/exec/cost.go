@@ -1,5 +1,7 @@
 package exec
 
+import "math"
+
 // CostEstimate summarizes the statically knowable cost drivers of a
 // plan, before any join runs. The cost-based planner combines it with
 // selectivity estimates to price the plan-based algorithms.
@@ -9,6 +11,13 @@ type CostEstimate struct {
 	// capped by the cheapest required contains predicate — the same
 	// witness-first bound evaluateLeaf exploits.
 	Candidates float64
+	// MergeUnits prices the structural joins under the galloping block
+	// kernels: joining a variable against its anchor costs one galloped
+	// merge, near-linear in the variable's own list plus a logarithmic
+	// probe into the anchor's list per element — n_v + log2(1+n_anchor)
+	// per variable. This replaces the old implicit assumption that a join
+	// step costs its full candidate count in binary searches.
+	MergeUnits float64
 	// Vars counts plan variables; OptionalVars counts the optional tail
 	// (variables whose connecting predicates were all relaxed away).
 	Vars         int
@@ -18,6 +27,7 @@ type CostEstimate struct {
 // EstimateCost computes a plan's static cost inputs.
 func EstimateCost(p *Plan) CostEstimate {
 	ce := CostEstimate{Vars: len(p.Vars), OptionalVars: len(p.Vars) - p.FirstOptional}
+	sizes := make([]float64, len(p.Vars))
 	for i := range p.Vars {
 		v := &p.Vars[i]
 		n := 0
@@ -33,7 +43,15 @@ func EstimateCost(p *Plan) CostEstimate {
 				n = c.Res.Len()
 			}
 		}
+		sizes[i] = float64(n)
 		ce.Candidates += float64(n)
+	}
+	for i := range p.Vars {
+		anchor := sizes[i] // the root merges against its own list
+		if a := p.Vars[i].Anchor; a >= 0 {
+			anchor = sizes[a]
+		}
+		ce.MergeUnits += sizes[i] + math.Log2(1+anchor)
 	}
 	return ce
 }

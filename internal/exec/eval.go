@@ -42,6 +42,14 @@ func (ev *Evaluator) Index() *ir.Index { return ev.ix }
 // result is in document order and must not be modified unless it was
 // filtered (in which case it is a fresh slice).
 func (ev *Evaluator) Candidates(q *tpq.Query, i int) []xmltree.NodeID {
+	return ev.candidatesArena(q, i, nil)
+}
+
+// candidatesArena is Candidates with the filtered list and the
+// contains-result scratch carved from an arena (nil falls back to plain
+// allocation). Filtered lists carved from an arena are only valid until
+// its next Reset.
+func (ev *Evaluator) candidatesArena(q *tpq.Query, i int, a *Arena) []xmltree.NodeID {
 	n := &q.Nodes[i]
 	var base []xmltree.NodeID
 	if ev.h == nil {
@@ -58,11 +66,11 @@ func (ev *Evaluator) Candidates(q *tpq.Query, i int) []xmltree.NodeID {
 	if len(n.Values) == 0 && len(n.Contains) == 0 {
 		return base
 	}
-	var results []*ir.Result
+	results := a.results()
 	for _, e := range n.Contains {
 		results = append(results, ev.ix.Eval(e))
 	}
-	out := make([]xmltree.NodeID, 0, len(base))
+	out := a.Nodes(len(base))
 candidates:
 	for _, c := range base {
 		for _, v := range n.Values {
@@ -77,6 +85,7 @@ candidates:
 		}
 		out = append(out, c)
 	}
+	a.keepResults(results)
 	return out
 }
 
@@ -98,7 +107,16 @@ func (ev *Evaluator) Evaluate(q *tpq.Query) []xmltree.NodeID {
 // the sub-pattern, then a top-down pass keeping only nodes reachable from
 // a match of the parent.
 func (ev *Evaluator) EvaluateFull(q *tpq.Query) [][]xmltree.NodeID {
-	return ev.evaluateFullWith(q, ev.Candidates)
+	return ev.evaluateFullWith(q, nil, (*Evaluator).candidatesArena)
+}
+
+// EvaluateFullArena is EvaluateFull with every intermediate list — and the
+// returned per-node lists themselves — carved from the arena. The results
+// are only valid until the arena's next Reset; callers (the DPO level
+// loop) must consume them before recycling. A nil arena behaves exactly
+// like EvaluateFull.
+func (ev *Evaluator) EvaluateFullArena(q *tpq.Query, a *Arena) [][]xmltree.NodeID {
+	return ev.evaluateFullWith(q, a, (*Evaluator).candidatesArena)
 }
 
 // EvalValuePred evaluates a value-based predicate against a node's

@@ -1,10 +1,9 @@
 package exec
 
 import (
-	"sort"
+	"slices"
 	"sync"
 
-	"flexpath/internal/ir"
 	"flexpath/internal/tpq"
 	"flexpath/internal/xmltree"
 )
@@ -49,7 +48,7 @@ func acquireScratch(n int) *walkScratch {
 // measures the crossover: IR-first wins when keywords are selective,
 // structure-first wins when they are common.
 func (ev *Evaluator) EvaluateIRFirst(q *tpq.Query) []xmltree.NodeID {
-	ok := ev.evaluateFullWith(q, ev.irFirstCandidates)
+	ok := ev.evaluateFullWith(q, nil, (*Evaluator).irFirstCandidates)
 	if ok == nil {
 		return nil
 	}
@@ -58,10 +57,12 @@ func (ev *Evaluator) EvaluateIRFirst(q *tpq.Query) []xmltree.NodeID {
 
 // irFirstCandidates builds node i's candidate list from contains-predicate
 // witnesses when possible, falling back to the tag-scan path otherwise.
-func (ev *Evaluator) irFirstCandidates(q *tpq.Query, i int) []xmltree.NodeID {
+// Scratch (the contains-result list and the filtered output) is carved
+// from the arena when one is supplied.
+func (ev *Evaluator) irFirstCandidates(q *tpq.Query, i int, a *Arena) []xmltree.NodeID {
 	n := &q.Nodes[i]
 	if len(n.Contains) == 0 {
-		return ev.Candidates(q, i)
+		return ev.candidatesArena(q, i, a)
 	}
 	// Anchor on the most selective contains predicate (fewest witnesses).
 	best := ev.ix.Eval(n.Contains[0])
@@ -102,12 +103,12 @@ func (ev *Evaluator) irFirstCandidates(q *tpq.Query, i int) []xmltree.NodeID {
 		}
 	}
 	walkPool.Put(scratch)
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	slices.Sort(out)
 	// Remaining local predicates still apply: other contains predicates
 	// and value-based predicates.
-	results := make([]*ir.Result, len(n.Contains))
-	for i, e := range n.Contains {
-		results[i] = ev.ix.Eval(e)
+	results := a.results()
+	for _, e := range n.Contains {
+		results = append(results, ev.ix.Eval(e))
 	}
 	filtered := out[:0]
 candidates:
@@ -124,11 +125,15 @@ candidates:
 		}
 		filtered = append(filtered, c)
 	}
+	a.keepResults(results)
 	return filtered
 }
 
-// evaluateFullWith is EvaluateFull parameterized by the candidate source.
-func (ev *Evaluator) evaluateFullWith(q *tpq.Query, cands func(*tpq.Query, int) []xmltree.NodeID) [][]xmltree.NodeID {
+// evaluateFullWith is EvaluateFull parameterized by the candidate source
+// and the scratch arena (nil for plain allocation). Every semijoin writes
+// into a buffer carved from the arena, so one pass allocates nothing
+// beyond the down/ok spines once the arena's chunk is warm.
+func (ev *Evaluator) evaluateFullWith(q *tpq.Query, a *Arena, cands func(*Evaluator, *tpq.Query, int, *Arena) []xmltree.NodeID) [][]xmltree.NodeID {
 	n := len(q.Nodes)
 	down := make([][]xmltree.NodeID, n)
 	children := make([][]int, n)
@@ -137,12 +142,12 @@ func (ev *Evaluator) evaluateFullWith(q *tpq.Query, cands func(*tpq.Query, int) 
 		children[p] = append(children[p], i)
 	}
 	for i := n - 1; i >= 0; i-- {
-		cur := cands(q, i)
+		cur := cands(ev, q, i, a)
 		for _, c := range children[i] {
 			if q.Nodes[c].Axis == tpq.Child {
-				cur = SemiJoinHasChild(ev.doc, cur, down[c])
+				cur = SemiJoinHasChildInto(a, a.Nodes(len(cur)), ev.doc, cur, down[c])
 			} else {
-				cur = SemiJoinHasDescendant(ev.doc, cur, down[c])
+				cur = SemiJoinHasDescendantInto(a, a.Nodes(len(cur)), ev.doc, cur, down[c])
 			}
 			if len(cur) == 0 {
 				return nil
@@ -155,9 +160,9 @@ func (ev *Evaluator) evaluateFullWith(q *tpq.Query, cands func(*tpq.Query, int) 
 	for i := 1; i < n; i++ {
 		p := q.Nodes[i].Parent
 		if q.Nodes[i].Axis == tpq.Child {
-			ok[i] = SemiJoinChildOf(ev.doc, down[i], ok[p])
+			ok[i] = SemiJoinChildOfInto(a, a.Nodes(len(down[i])), ev.doc, down[i], ok[p])
 		} else {
-			ok[i] = SemiJoinDescendantOf(ev.doc, down[i], ok[p])
+			ok[i] = SemiJoinDescendantOfInto(a, a.Nodes(len(down[i])), ev.doc, down[i], ok[p])
 		}
 		if len(ok[i]) == 0 {
 			return nil

@@ -2,7 +2,7 @@ package exec
 
 import (
 	"context"
-	"sort"
+	"slices"
 	"sync"
 
 	"flexpath/internal/ir"
@@ -201,6 +201,12 @@ type Options struct {
 	Stats *PipelineStats
 	// Trace, when non-nil, receives one StepTrace per join step.
 	Trace *[]StepTrace
+	// Arena, when non-nil, supplies the scratch memory for intermediate
+	// candidate lists, tuple buffers and binding blocks; Run only carves
+	// from it and never resets it, so one arena can serve many Run calls
+	// (the caller resets between relaxation levels / restarts). When nil,
+	// Run borrows a pooled arena for the duration of the call.
+	Arena *Arena
 }
 
 // Answer is a scored query answer: a binding of the distinguished variable
@@ -227,6 +233,14 @@ func Run(p *Plan, opts Options) []Answer {
 	st := opts.Stats
 	if st == nil {
 		st = &PipelineStats{}
+	}
+	// Hot loops index the document columns directly instead of calling
+	// accessors per node.
+	ends, parentCol := doc.Ends(), doc.Parents()
+	ar := opts.Arena
+	if ar == nil {
+		ar = GetArena()
+		defer PutArena(ar)
 	}
 
 	// Cancellation: a nil Done channel makes the select below a cheap
@@ -321,19 +335,27 @@ func Run(p *Plan, opts Options) []Answer {
 		st.JoinSteps++
 		tuplesIn := len(tuples)
 		excludeHere := vi == p.DistVar && len(opts.Exclude) > 0
-		joinChunk := func(chunk []tuple) []tuple {
-			var out []tuple
+		// joinChunk extends every tuple of chunk by the step variable,
+		// appending to out. chunkAr, when non-nil, supplies the binding
+		// blocks; parallel workers pass nil (an Arena is single-owner) and
+		// fall back to private heap blocks.
+		joinChunk := func(chunk, out []tuple, chunkAr *Arena) []tuple {
 			// Bindings for this chunk's output tuples are carved out of
 			// block allocations instead of one slice per tuple; binding
 			// slices are immutable once created, so sharing blocks is
 			// safe.
-			var arena []xmltree.NodeID
+			var block []xmltree.NodeID
 			newBind := func(src []xmltree.NodeID) []xmltree.NodeID {
-				if len(arena) < nv {
-					arena = make([]xmltree.NodeID, 1024*nv)
+				if len(block) < nv {
+					if chunkAr != nil {
+						block = chunkAr.Nodes(1024 * nv)
+						block = block[:cap(block)]
+					} else {
+						block = make([]xmltree.NodeID, 1024*nv)
+					}
 				}
-				b := arena[:nv:nv]
-				arena = arena[nv:]
+				b := block[:nv:nv]
+				block = block[nv:]
 				copy(b, src)
 				return b
 			}
@@ -347,14 +369,21 @@ func Run(p *Plan, opts Options) []Answer {
 				t := &chunk[ti]
 				matched := false
 				var best tuple
-				for _, m := range candidatesFor(doc, v, leaves[vi], t) {
+				// The parent filter of RelParent steps is applied inline
+				// against the Parent column; no filtered candidate list is
+				// ever materialized.
+				cands, parentAnchor := candidatesFor(doc, v, leaves[vi], t)
+				for _, m := range cands {
+					if parentAnchor != xmltree.InvalidNode && parentCol[m] != parentAnchor {
+						continue
+					}
 					if excludeHere && opts.Exclude[m] {
 						continue
 					}
-					if !checksOK(doc, v, t, m) {
+					if !checksOK(parentCol, ends, v, t, m) {
 						continue
 					}
-					nt := extend(doc, v, t, vi, m, newBind)
+					nt := extend(parentCol, ends, v, t, vi, m, newBind)
 					if bestOnly {
 						if !matched || better(&nt, &best, opts.Scheme) {
 							best = nt
@@ -393,20 +422,25 @@ func Run(p *Plan, opts Options) []Answer {
 				wg.Add(1)
 				go func(w, lo, hi int) {
 					defer wg.Done()
-					parts[w] = joinChunk(tuples[lo:hi])
+					parts[w] = joinChunk(tuples[lo:hi], nil, nil)
 				}(w, lo, hi)
 			}
 			wg.Wait()
+			next = ar.tupleBuf()
 			for _, p := range parts {
 				next = append(next, p...)
 			}
 		} else {
-			next = joinChunk(tuples)
+			next = joinChunk(tuples, ar.tupleBuf(), ar)
 		}
 		if cancelled() {
 			return nil
 		}
 		st.TuplesGenerated += len(next)
+		// The step's input buffer is dead: recycle it for a later step's
+		// output (the bootstrap one-tuple literal is recycled too, which
+		// is harmless).
+		ar.recycleTuples(tuples)
 		tuples = next
 		trace := StepTrace{
 			Var:        "$" + itoa(v.VarID) + " " + v.Tag,
@@ -451,19 +485,33 @@ func Run(p *Plan, opts Options) []Answer {
 		organize := opts.K > 0 && hasRelax && vi+1 < nv
 		switch {
 		case opts.Mode == ModeSorted && organize:
-			keys := make([]float64, len(tuples))
+			keys, idx := ar.sortScratch(len(tuples))
 			for i := range tuples {
 				keys[i] = total(&tuples[i])
-			}
-			idx := make([]int, len(tuples))
-			for i := range idx {
 				idx[i] = i
 			}
-			sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] > keys[idx[b]] })
-			sorted := make([]tuple, len(tuples))
+			// Score-descending; ties break on input position so the resort
+			// is deterministic (sort.Slice here was unstable).
+			slices.SortFunc(idx, func(a, b int) int {
+				switch {
+				case keys[a] > keys[b]:
+					return -1
+				case keys[a] < keys[b]:
+					return 1
+				default:
+					return a - b
+				}
+			})
+			sorted := ar.tupleBuf()
+			if cap(sorted) < len(tuples) {
+				ar.recycleTuples(sorted)
+				sorted = make([]tuple, 0, len(tuples))
+			}
+			sorted = sorted[:len(tuples)]
 			for pos, i := range idx {
 				sorted[pos] = tuples[i]
 			}
+			ar.recycleTuples(tuples)
 			tuples = sorted
 			st.SortOps++
 			st.SortedTuples += len(tuples)
@@ -502,11 +550,11 @@ func Run(p *Plan, opts Options) []Answer {
 	for _, a := range best {
 		out = append(out, a)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if c := out[i].Score.Compare(out[j].Score, opts.Scheme); c != 0 {
-			return c > 0
+	slices.SortFunc(out, func(x, y Answer) int {
+		if c := x.Score.Compare(y.Score, opts.Scheme); c != 0 {
+			return -c
 		}
-		return out[i].Node < out[j].Node
+		return int(x.Node) - int(y.Node)
 	})
 	return out
 }
@@ -619,22 +667,21 @@ func mergeSorted(lists [][]xmltree.NodeID) []xmltree.NodeID {
 	}
 }
 
-func candidatesFor(doc *xmltree.Document, v *VarSpec, leaf []xmltree.NodeID, t *tuple) []xmltree.NodeID {
+// candidatesFor returns the slice of the variable's leaf that can bind it
+// given the tuple's anchor binding, plus a parent filter: when
+// parentAnchor is not InvalidNode the caller must additionally require
+// Parent(m) == parentAnchor. Returning the filter instead of a filtered
+// copy keeps this allocation-free — the join loop applies it inline
+// against the Parent column.
+func candidatesFor(doc *xmltree.Document, v *VarSpec, leaf []xmltree.NodeID, t *tuple) (cands []xmltree.NodeID, parentAnchor xmltree.NodeID) {
 	switch v.Rel {
 	case RelRoot:
-		return leaf
+		return leaf, xmltree.InvalidNode
 	case RelParent:
 		anchor := t.bind[v.Anchor]
-		in := DescendantsInRange(doc, leaf, anchor)
-		out := make([]xmltree.NodeID, 0, len(in))
-		for _, m := range in {
-			if doc.Parent(m) == anchor {
-				out = append(out, m)
-			}
-		}
-		return out
+		return DescendantsInRange(doc, leaf, anchor), anchor
 	default: // RelAncestor, RelOptional
-		return DescendantsInRange(doc, leaf, t.bind[v.Anchor])
+		return DescendantsInRange(doc, leaf, t.bind[v.Anchor]), xmltree.InvalidNode
 	}
 }
 
@@ -646,24 +693,26 @@ func better(a, b *tuple, scheme rank.Scheme) bool {
 	return sa.Compare(sb, scheme) > 0
 }
 
-func checksOK(doc *xmltree.Document, v *VarSpec, t *tuple, m xmltree.NodeID) bool {
+// checksOK evaluates the variable's structural checks against the columns
+// directly (a < n && n <= ends[a] is the interval-containment test).
+func checksOK(parents, ends []xmltree.NodeID, v *VarSpec, t *tuple, m xmltree.NodeID) bool {
 	for _, c := range v.Checks {
 		o := t.bind[c.Other]
 		if o == xmltree.InvalidNode {
 			return false
 		}
 		if c.Parent {
-			if doc.Parent(m) != o {
+			if parents[m] != o {
 				return false
 			}
-		} else if !doc.IsAncestor(o, m) {
+		} else if !(o < m && m <= ends[o]) {
 			return false
 		}
 	}
 	return true
 }
 
-func extend(doc *xmltree.Document, v *VarSpec, t *tuple, vi int, m xmltree.NodeID, newBind func([]xmltree.NodeID) []xmltree.NodeID) tuple {
+func extend(parents, ends []xmltree.NodeID, v *VarSpec, t *tuple, vi int, m xmltree.NodeID, newBind func([]xmltree.NodeID) []xmltree.NodeID) tuple {
 	bind := newBind(t.bind)
 	bind[vi] = m
 	nt := tuple{bind: bind, regained: t.regained, ks: t.ks, sig: t.sig}
@@ -678,9 +727,9 @@ func extend(doc *xmltree.Document, v *VarSpec, t *tuple, vi int, m xmltree.NodeI
 		}
 		var ok bool
 		if b.Parent {
-			ok = doc.Parent(desc) == anc
+			ok = parents[desc] == anc
 		} else {
-			ok = doc.IsAncestor(anc, desc)
+			ok = anc < desc && desc <= ends[anc]
 		}
 		if ok {
 			nt.regained += b.Penalty
@@ -720,7 +769,7 @@ func kthBest(tuples []tuple, distVar, k int, total func(*tuple) float64) (float6
 	for _, v := range bestPer {
 		vals = append(vals, v)
 	}
-	sort.Float64s(vals)
+	slices.Sort(vals)
 	return vals[len(vals)-k], true
 }
 
@@ -757,7 +806,7 @@ func contextsOf(doc *xmltree.Document, r *ir.Result, v *VarSpec) []xmltree.NodeI
 		}
 	}
 	walkPool.Put(scratch)
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	slices.Sort(out)
 	return out
 }
 

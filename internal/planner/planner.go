@@ -82,7 +82,10 @@ const (
 	// bucketFactor is Hybrid's per-tuple bucket bookkeeping.
 	bucketFactor = 0.05
 	// sortFactor scales SSO's per-join resort term (tuples · log tuples).
-	sortFactor = 0.30
+	// Re-fit for the columnar execution core: the typed SortFunc resort
+	// over arena scratch costs visibly less per tuple than the reflective
+	// sort.Slice the old 0.30 was tuned against.
+	sortFactor = 0.20
 	// calibAlpha is the EWMA weight of a new ns-per-unit sample.
 	calibAlpha = 0.3
 	// restartAlpha is the EWMA weight of a new restarts-per-run sample.
@@ -126,19 +129,22 @@ type Choice struct {
 }
 
 // ewma is an exponentially weighted moving average seeded by its first
-// sample.
+// sample. During warmup it tracks the cumulative mean: a new sample gets
+// weight max(alpha, 1/n), so the first few observations are averaged
+// instead of letting the very first one dominate — recalibration for the
+// columnar kernels showed the old first-sample seeding pinned ns-per-unit
+// to whichever (cold-cache) run happened to arrive first.
 type ewma struct {
 	v float64
 	n uint64
 }
 
 func (e *ewma) add(x, alpha float64) {
-	if e.n == 0 {
-		e.v = x
-	} else {
-		e.v = alpha*x + (1-alpha)*e.v
-	}
 	e.n++
+	if w := 1 / float64(e.n); w > alpha {
+		alpha = w
+	}
+	e.v = alpha*x + (1-alpha)*e.v
 }
 
 // Planner holds the per-document planning state: the estimator the cost
@@ -193,7 +199,10 @@ func (p *Planner) Choose(chain *core.Chain, tmpl *core.Template, k int, scheme r
 	// intermediate tuple population of the single-plan algorithms.
 	t := p.est.Estimate(chain.QueryAt(c.Level))
 	tuples := t * float64(cost.Vars) * (1 + optionalVarFactor*float64(cost.OptionalVars))
-	planBase := cost.Candidates + tuples
+	// MergeUnits prices the structural joins under the galloping kernels
+	// (near-linear merges with logarithmic anchor probes) instead of the
+	// raw candidate population the pre-columnar model charged.
+	planBase := cost.MergeUnits + tuples
 	// An undershooting estimate forces the plan algorithms to extend the
 	// prefix and rerun the whole plan; charge the workload's observed
 	// restart rate as expected extra passes.

@@ -17,7 +17,7 @@ package topk
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 
@@ -43,6 +43,10 @@ type Result struct {
 	// plan-based algorithms, which track per-answer predicate
 	// satisfaction; DPO knows only the admitting level and leaves it nil.
 	Missed []string
+
+	// sig carries the answer's predicate-satisfaction bits between the
+	// ranking pass and the deferred Missed materialization in toResults.
+	sig uint64
 }
 
 // Metrics reports the work an algorithm performed.
@@ -164,6 +168,13 @@ func dpo(ev *exec.Evaluator, chain *core.Chain, opts Options, semijoin bool) []R
 	var results []Result
 	seen := make(map[xmltree.NodeID]bool)
 
+	// One scratch arena serves every relaxation level: each level's
+	// intermediate lists, tuple buffers and binding blocks are carved from
+	// it and recycled wholesale by the Reset below once the level's
+	// answers have been copied into results.
+	arena := exec.GetArena()
+	defer exec.PutArena(arena)
+
 	stopLevel := chain.Len()
 	reachedAt := -1
 	m0 := chain.Original.NumContains()
@@ -174,6 +185,7 @@ func dpo(ev *exec.Evaluator, chain *core.Chain, opts Options, semijoin bool) []R
 		if opts.cancelled() {
 			return nil
 		}
+		arena.Reset()
 		q := chain.QueryAt(level)
 		var block []Result
 		ss := chain.SSAt(level)
@@ -193,7 +205,7 @@ func dpo(ev *exec.Evaluator, chain *core.Chain, opts Options, semijoin bool) []R
 		m.RelaxationsEncoded = level
 		if semijoin {
 			var ok [][]xmltree.NodeID
-			opts.timeJoin(func() { ok = ev.EvaluateFull(q) })
+			opts.timeJoin(func() { ok = ev.EvaluateFullArena(q, arena) })
 			if ok != nil {
 				scorer := newKSScorer(chain, level, q, ok)
 				for _, n := range ok[q.Dist] {
@@ -218,7 +230,7 @@ func dpo(ev *exec.Evaluator, chain *core.Chain, opts Options, semijoin bool) []R
 				levelAnswers = exec.Run(plan, exec.Options{
 					Mode: exec.ModeExhaustive, Scheme: opts.Scheme,
 					Parallel: opts.Parallel, Stats: &m.Pipeline,
-					Exclude: seen, Ctx: opts.Ctx,
+					Exclude: seen, Ctx: opts.Ctx, Arena: arena,
 				})
 			})
 			for _, a := range levelAnswers {
@@ -235,12 +247,7 @@ func dpo(ev *exec.Evaluator, chain *core.Chain, opts Options, semijoin bool) []R
 		}
 		// Within a block all answers share ss; order by the secondary
 		// component so the block appends in final order.
-		sort.Slice(block, func(i, j int) bool {
-			if c := block[i].Score.Compare(block[j].Score, opts.Scheme); c != 0 {
-				return c > 0
-			}
-			return block[i].Node < block[j].Node
-		})
+		sortResults(block, opts.Scheme)
 		results = append(results, block...)
 
 		if len(results) >= k && reachedAt < 0 {
@@ -297,10 +304,16 @@ func planBased(chain *core.Chain, est *stats.Estimator, opts Options, mode exec.
 	m := opts.metrics()
 	k := opts.K
 	j := choosePrefix(chain, est, opts, m)
+	// One arena serves the initial run and any restarts; each restart
+	// re-executes a larger plan from scratch, so everything the previous
+	// round carved is recycled by the Reset below.
+	arena := exec.GetArena()
+	defer exec.PutArena(arena)
 	for {
 		if opts.cancelled() {
 			return nil
 		}
+		arena.Reset()
 		plan, err := opts.planAt(chain, j)
 		if err != nil {
 			return nil
@@ -316,6 +329,7 @@ func planBased(chain *core.Chain, est *stats.Estimator, opts Options, mode exec.
 				Parallel: opts.Parallel,
 				Stats:    &m.Pipeline,
 				Ctx:      opts.Ctx,
+				Arena:    arena,
 			})
 		})
 		if opts.cancelled() {
@@ -437,34 +451,42 @@ func toResults(chain *core.Chain, answers []exec.Answer, opts Options, k int) []
 	results := make([]Result, 0, len(answers))
 	for _, a := range answers {
 		level := 0
-		var missed []string
 		for j := encoded; j >= 1; j-- {
 			if a.Sig&masks[j] != masks[j] {
-				if level == 0 {
-					level = j
-				}
-				missed = append(missed, chain.Steps[j-1].Desc)
+				level = j
+				break
 			}
 		}
-		// Reverse into chain order (cheapest relaxation first).
-		for i, j := 0, len(missed)-1; i < j; i, j = i+1, j-1 {
-			missed[i], missed[j] = missed[j], missed[i]
-		}
-		results = append(results, Result{Node: a.Node, Score: a.Score, Relaxations: level, Missed: missed})
+		results = append(results, Result{Node: a.Node, Score: a.Score, Relaxations: level, sig: a.Sig})
 	}
 	sortResults(results, opts.Scheme)
 	if len(results) > k {
 		results = results[:k]
 	}
+	// Materialize the missed-predicate descriptions only for the K
+	// survivors: the candidate set can be an order of magnitude larger
+	// than K, and Missed is the lone per-answer allocation of this path.
+	for i := range results {
+		if results[i].Relaxations == 0 {
+			continue
+		}
+		var missed []string
+		for j := 1; j <= encoded; j++ {
+			if results[i].sig&masks[j] != masks[j] {
+				missed = append(missed, chain.Steps[j-1].Desc)
+			}
+		}
+		results[i].Missed = missed
+	}
 	return results
 }
 
 func sortResults(rs []Result, scheme rank.Scheme) {
-	sort.Slice(rs, func(i, j int) bool {
-		if c := rs[i].Score.Compare(rs[j].Score, scheme); c != 0 {
-			return c > 0
+	slices.SortFunc(rs, func(a, b Result) int {
+		if c := a.Score.Compare(b.Score, scheme); c != 0 {
+			return -c
 		}
-		return rs[i].Node < rs[j].Node
+		return int(a.Node) - int(b.Node)
 	})
 }
 

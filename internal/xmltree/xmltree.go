@@ -157,6 +157,15 @@ func (d *Document) Level(n NodeID) int { return int(d.level[n]) }
 // Parent returns the parent of node n, or InvalidNode for the root.
 func (d *Document) Parent(n NodeID) NodeID { return d.parent[n] }
 
+// Ends returns the End column of the node table, indexed by NodeID: the
+// interval end of every node. Batch kernels index it directly instead of
+// calling End per node. The returned slice must not be modified.
+func (d *Document) Ends() []NodeID { return d.end }
+
+// Parents returns the Parent column of the node table, indexed by NodeID
+// (InvalidNode for the root). The returned slice must not be modified.
+func (d *Document) Parents() []NodeID { return d.parent }
+
 // Text returns the character data directly inside node n (excluding
 // descendants' text).
 func (d *Document) Text(n NodeID) string { return d.text[n] }
@@ -236,14 +245,21 @@ func (d *Document) SubtreeText(n NodeID) string {
 // Path returns the slash-separated tag path from the root to n, e.g.
 // "/site/regions/africa/item".
 func (d *Document) Path(n NodeID) string {
-	var parts []string
+	// One pass up collects the ancestor chain (stack-allocated for any
+	// realistic depth) and sizes the output, so the builder allocates
+	// exactly once however deep the node sits.
+	var stackArr [64]NodeID
+	stack := stackArr[:0]
+	total := 0
 	for m := n; m != InvalidNode; m = d.parent[m] {
-		parts = append(parts, d.TagName(m))
+		stack = append(stack, m)
+		total += 1 + len(d.TagName(m))
 	}
 	var sb strings.Builder
-	for i := len(parts) - 1; i >= 0; i-- {
+	sb.Grow(total)
+	for i := len(stack) - 1; i >= 0; i-- {
 		sb.WriteByte('/')
-		sb.WriteString(parts[i])
+		sb.WriteString(d.TagName(stack[i]))
 	}
 	return sb.String()
 }
