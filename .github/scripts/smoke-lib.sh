@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Shared preamble for the CI smoke jobs (serve-smoke, router-smoke,
+# crash-recovery, ingest-bench): build binaries, wait for /healthz,
+# generate the small journal corpus, normalize search responses for
+# byte-identity diffs. Source this file, then call the helpers — each
+# workflow `run:` block is its own shell, so source it in every step
+# that needs one.
+set -euo pipefail
+
+# build_bins CMD... — build each named command into ./CMD.
+build_bins() {
+  local cmd
+  for cmd in "$@"; do
+    go build -o "$cmd" "./cmd/$cmd"
+  done
+}
+
+# wait_healthy PORT... — poll each port's /healthz until it answers
+# (up to ~5s per port), failing if one never comes up.
+wait_healthy() {
+  local port i
+  for port in "$@"; do
+    for i in $(seq 1 50); do
+      curl -sf "http://127.0.0.1:$port/healthz" >/dev/null && break
+      sleep 0.1
+    done
+    curl -sf "http://127.0.0.1:$port/healthz" >/dev/null || {
+      echo "port $port never became healthy"
+      return 1
+    }
+  done
+}
+
+# make_corpus DIR — write the six-document journal corpus the smoke jobs
+# query: three relaxation levels, so merged rankings have real structure
+# to get wrong.
+make_corpus() {
+  local dir=$1 i body
+  mkdir -p "$dir"
+  for i in 0 1 2 3 4 5; do
+    case $((i % 3)) in
+      0) body='<section><algorithm>x</algorithm><paragraph>XML streaming methods</paragraph></section>' ;;
+      1) body='<section><paragraph>XML streaming text</paragraph></section>' ;;
+      2) body='<section><algorithm>y</algorithm><paragraph>unrelated prose</paragraph></section>' ;;
+    esac
+    printf '<journal><article id="d%d">%s</article></journal>\n' "$i" "$body" > "$dir/doc$i.xml"
+  done
+}
+
+# answers BASE_URL PARAMS QUERY OUT — fetch a search and reduce the
+# response to just its answers array (elapsed_ms is wall time and may
+# not be diffed).
+answers() {
+  curl -sf --get "$1/search?$2" --data-urlencode "q=$3" |
+    python3 -c 'import json,sys; json.dump(json.load(sys.stdin)["answers"], sys.stdout, indent=1)' > "$4"
+}

@@ -1,0 +1,402 @@
+// Command flexload is an open-loop traffic generator for flexserve: it
+// fires a configurable mix of search queries and durable mutations at a
+// fixed rate — open loop, so requests launch on schedule whether or not
+// earlier ones have completed, the way real traffic behaves — and emits
+// a latency SLO report (p50/p95/p99 per operation type, error counts)
+// as JSON.
+//
+// Usage:
+//
+//	flexload -addr http://localhost:8080 -qps 200 -duration 30s -mutate 0.1
+//	flexload -addr http://localhost:8080 -preload 50 -out slo.json
+//	flexload -addr ... -fail-errors -max-p99 250ms   # CI gate
+//
+// With -preload N, the generator first upserts N documents through
+// /admin/bulk (sequentially, not rate-limited or measured) so queries
+// have a corpus to hit. Mutations during the run are upserts and removes
+// over a rotating slice of the same name pool — retry-safe verbs, so an
+// interrupted run can simply be repeated.
+//
+// Exit status: 0 on success; 1 if -fail-errors is set and any request
+// failed, or -max-p99 is set and the query p99 exceeds it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type config struct {
+	addr     string
+	qps      float64
+	duration time.Duration
+	mutate   float64
+	seed     int64
+	preload  int
+	k        int
+	timeout  time.Duration
+}
+
+// queries is the rotating pool of search queries; all match the
+// generated corpus with varying selectivity and relaxation depth.
+var queries = []string{
+	`//article[./section[./paragraph and .contains("xml" and "streaming")]]`,
+	`//article[./section/paragraph[.contains("flexible" and "structure")]]`,
+	`/journal/article[./section[./algorithm and .contains("relaxation")]]`,
+	`//section[./paragraph[.contains("query")]]`,
+	`//article[./meta/author and ./section[.contains("index" and "join")]]`,
+}
+
+// docXML renders document i at revision rev. The text overlaps the query
+// pool's terms so searches return answers, with per-document variation so
+// rankings differ.
+func docXML(i, rev int) string {
+	terms := []string{"xml", "streaming", "flexible", "structure", "relaxation", "query", "index", "join"}
+	a := terms[i%len(terms)]
+	b := terms[(i+rev)%len(terms)]
+	return fmt.Sprintf(`<journal><article id="d%d"><meta><author>gen</author></meta>`+
+		`<section><algorithm>rev %d relaxation</algorithm>`+
+		`<paragraph>%s %s methods for flexible xml query processing, doc %d</paragraph>`+
+		`</section></article></journal>`, i, rev, a, b, i)
+}
+
+// opResult is one completed request.
+type opResult struct {
+	kind    string // "query" or "mutate"
+	latency time.Duration
+	err     string // "" on success; HTTP status or transport error otherwise
+}
+
+// sloSummary is the per-operation-type section of the report.
+type sloSummary struct {
+	Count  int     `json:"count"`
+	Errors int     `json:"errors"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	MeanMS float64 `json:"mean_ms"`
+}
+
+// report is the JSON SLO report.
+type report struct {
+	Addr         string   `json:"addr"`
+	TargetQPS    float64  `json:"target_qps"`
+	DurationSec  float64  `json:"duration_sec"`
+	MutateRatio  float64  `json:"mutate_ratio"`
+	Seed         int64    `json:"seed"`
+	Preloaded    int      `json:"preloaded"`
+	Launched     int      `json:"launched"`
+	AchievedQPS  float64  `json:"achieved_qps"`
+	TotalErrors  int      `json:"total_errors"`
+	ErrorSamples []string `json:"error_samples,omitempty"`
+	// MutateRetries counts 429-backpressure retries that eventually
+	// succeeded; they cost latency (visible in the mutate percentiles),
+	// not correctness.
+	MutateRetries int64 `json:"mutate_retries"`
+
+	Query  sloSummary `json:"query"`
+	Mutate sloSummary `json:"mutate"`
+}
+
+func main() {
+	cfg := config{}
+	flag.StringVar(&cfg.addr, "addr", "http://localhost:8080", "flexserve base URL")
+	flag.Float64Var(&cfg.qps, "qps", 200, "request launch rate (open loop: launches do not wait for completions)")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long to generate load")
+	flag.Float64Var(&cfg.mutate, "mutate", 0.1, "fraction of requests that are mutations (0..1)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "PRNG seed: same seed, same request sequence")
+	flag.IntVar(&cfg.preload, "preload", 0, "documents to upsert before the measured run")
+	flag.IntVar(&cfg.k, "k", 10, "k parameter for search requests")
+	flag.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "per-request timeout")
+	out := flag.String("out", "", "write the SLO report JSON here (default stdout)")
+	failErrors := flag.Bool("fail-errors", false, "exit 1 if any request failed")
+	maxP99 := flag.Duration("max-p99", 0, "exit 1 if the query p99 exceeds this (0 disables)")
+	flag.Parse()
+
+	rep, err := run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexload:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexload:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "flexload:", err)
+			os.Exit(1)
+		}
+	} else {
+		os.Stdout.Write(data) //nolint:errcheck
+	}
+
+	if *failErrors && rep.TotalErrors > 0 {
+		fmt.Fprintf(os.Stderr, "flexload: FAIL: %d errors\n", rep.TotalErrors)
+		os.Exit(1)
+	}
+	if *maxP99 > 0 && rep.Query.P99MS > float64(*maxP99)/1e6 {
+		fmt.Fprintf(os.Stderr, "flexload: FAIL: query p99 %.2fms exceeds %v\n", rep.Query.P99MS, *maxP99)
+		os.Exit(1)
+	}
+}
+
+// run preloads the corpus, generates the open-loop request schedule, and
+// summarizes the results.
+func run(cfg config) (*report, error) {
+	if cfg.qps <= 0 {
+		return nil, fmt.Errorf("qps must be positive")
+	}
+	if cfg.mutate < 0 || cfg.mutate > 1 {
+		return nil, fmt.Errorf("mutate must be in [0,1]")
+	}
+	client := &http.Client{Timeout: cfg.timeout}
+
+	if err := preload(client, cfg); err != nil {
+		return nil, err
+	}
+
+	// The schedule is decided up front from the seed: op kinds, query
+	// picks and document targets are deterministic; only timing varies.
+	rng := rand.New(rand.NewSource(cfg.seed))
+	interval := time.Duration(float64(time.Second) / cfg.qps)
+	total := int(cfg.duration / interval)
+	if total < 1 {
+		total = 1
+	}
+
+	results := make(chan opResult, total)
+	var retries atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	launched := 0
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for i := 0; i < total; i++ {
+		if i > 0 {
+			<-ticker.C
+		}
+		kind := "query"
+		if rng.Float64() < cfg.mutate {
+			kind = "mutate"
+		}
+		q := queries[rng.Intn(len(queries))]
+		docID := rng.Intn(cfg.preload + 16) // beyond the preload: upserts create
+		rev := i
+		launched++
+		wg.Add(1)
+		go func(kind, q string, docID, rev int) {
+			defer wg.Done()
+			t0 := time.Now()
+			var errStr string
+			if kind == "query" {
+				errStr = doQuery(client, cfg, q)
+			} else {
+				errStr = doMutate(client, cfg, docID, rev, &retries)
+			}
+			results <- opResult{kind: kind, latency: time.Since(t0), err: errStr}
+		}(kind, q, docID, rev)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(results)
+
+	rep := &report{
+		Addr:          cfg.addr,
+		TargetQPS:     cfg.qps,
+		DurationSec:   wall.Seconds(),
+		MutateRatio:   cfg.mutate,
+		Seed:          cfg.seed,
+		Preloaded:     cfg.preload,
+		Launched:      launched,
+		AchievedQPS:   float64(launched) / wall.Seconds(),
+		MutateRetries: retries.Load(),
+	}
+	var qLat, mLat []time.Duration
+	for r := range results {
+		if r.err != "" {
+			rep.TotalErrors++
+			if len(rep.ErrorSamples) < 8 {
+				rep.ErrorSamples = append(rep.ErrorSamples, r.kind+": "+r.err)
+			}
+		}
+		switch r.kind {
+		case "query":
+			if r.err != "" {
+				rep.Query.Errors++
+			}
+			qLat = append(qLat, r.latency)
+		case "mutate":
+			if r.err != "" {
+				rep.Mutate.Errors++
+			}
+			mLat = append(mLat, r.latency)
+		}
+	}
+	summarize(&rep.Query, qLat)
+	summarize(&rep.Mutate, mLat)
+	return rep, nil
+}
+
+// preload upserts the initial corpus through /admin/bulk in batches,
+// sequentially and unmeasured.
+func preload(client *http.Client, cfg config) error {
+	const batchSize = 32
+	for lo := 0; lo < cfg.preload; lo += batchSize {
+		hi := lo + batchSize
+		if hi > cfg.preload {
+			hi = cfg.preload
+		}
+		var sb strings.Builder
+		for i := lo; i < hi; i++ {
+			line, _ := json.Marshal(map[string]string{
+				"op": "upsert", "name": docName(i), "doc": docXML(i, 0),
+			})
+			sb.Write(line)
+			sb.WriteByte('\n')
+		}
+		// Preload is sequential so 429s are unexpected, but honor the
+		// backoff hint anyway rather than failing the whole run.
+		for attempt := 1; ; attempt++ {
+			errStr, backoff := postBulk(client, cfg, sb.String())
+			if errStr == "" {
+				break
+			}
+			if backoff == 0 || attempt == 5 {
+				return fmt.Errorf("preload batch %d-%d: %s", lo, hi, errStr)
+			}
+			time.Sleep(backoff)
+		}
+	}
+	return nil
+}
+
+func docName(i int) string { return fmt.Sprintf("load-%04d.xml", i) }
+
+// doQuery runs one search; non-200 statuses and transport failures are
+// errors.
+func doQuery(client *http.Client, cfg config, q string) string {
+	u := fmt.Sprintf("%s/search?q=%s&k=%d", cfg.addr, url.QueryEscape(q), cfg.k)
+	resp, err := client.Get(u)
+	if err != nil {
+		return err.Error()
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Sprintf("search status %d", resp.StatusCode)
+	}
+	return ""
+}
+
+// doMutate upserts (or, one time in four, removes) one document through
+// /admin/bulk — the durable ingest path, so a WAL-backed server fsyncs
+// before answering. A batch whose lines all apply is a success; per-line
+// failures are errors the report counts. 429 is backpressure, not
+// failure: the verbs are retry-safe, so the batch is retried (bounded)
+// after the server's Retry-After hint, and only exhausting the retries
+// counts as an error. Retries are tallied in the report.
+func doMutate(client *http.Client, cfg config, docID, rev int, retries *atomic.Int64) string {
+	op := "upsert"
+	if rev%4 == 3 {
+		op = "remove"
+	}
+	m := map[string]string{"op": op, "name": docName(docID)}
+	if op == "upsert" {
+		m["doc"] = docXML(docID, rev)
+	}
+	line, _ := json.Marshal(m)
+	body := string(line) + "\n"
+	const maxAttempts = 5
+	for attempt := 1; ; attempt++ {
+		errStr, backoff := postBulk(client, cfg, body)
+		if backoff == 0 || attempt == maxAttempts {
+			return errStr
+		}
+		retries.Add(1)
+		time.Sleep(backoff)
+	}
+}
+
+// postBulk posts one NDJSON batch and folds HTTP and per-line failures
+// into a single error string. A 429 additionally returns the backoff the
+// caller should wait before retrying (the Retry-After header, capped).
+func postBulk(client *http.Client, cfg config, body string) (errStr string, backoff time.Duration) {
+	resp, err := client.Post(cfg.addr+"/admin/bulk", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		return err.Error(), 0
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode == http.StatusTooManyRequests {
+		backoff = 100 * time.Millisecond
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 && ra <= 5 {
+			backoff = time.Duration(ra) * 250 * time.Millisecond
+		}
+		return "bulk status 429 (retries exhausted)", backoff
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Sprintf("bulk status %d", resp.StatusCode), 0
+	}
+	var br struct {
+		Failed int `json:"failed"`
+		Errors []struct {
+			Error string `json:"error"`
+		} `json:"errors"`
+	}
+	if err := json.Unmarshal(data, &br); err != nil {
+		return "bad bulk response: " + err.Error(), 0
+	}
+	if br.Failed > 0 {
+		msg := fmt.Sprintf("%d bulk ops failed", br.Failed)
+		if len(br.Errors) > 0 {
+			msg += ": " + br.Errors[0].Error
+		}
+		return msg, 0
+	}
+	return "", 0
+}
+
+// summarize fills an sloSummary from raw latencies with exact sorted
+// percentiles (nearest-rank).
+func summarize(s *sloSummary, lat []time.Duration) {
+	s.Count = len(lat)
+	if len(lat) == 0 {
+		return
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) float64 {
+		idx := int(p*float64(len(lat))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(lat) {
+			idx = len(lat) - 1
+		}
+		return float64(lat[idx]) / 1e6
+	}
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	s.P50MS = pct(0.50)
+	s.P95MS = pct(0.95)
+	s.P99MS = pct(0.99)
+	s.MaxMS = float64(lat[len(lat)-1]) / 1e6
+	s.MeanMS = float64(sum) / float64(len(lat)) / 1e6
+}

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubServer mimics flexserve's /search and /admin/bulk shapes closely
+// enough to exercise the generator's scheduling, accounting and error
+// folding.
+func stubServer(t *testing.T, failSearches bool) (*httptest.Server, *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	var searches, bulkOps atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", func(w http.ResponseWriter, r *http.Request) {
+		searches.Add(1)
+		if failSearches {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		if r.URL.Query().Get("q") == "" {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		w.Write([]byte(`{"answers":[]}`)) //nolint:errcheck
+	})
+	mux.HandleFunc("/admin/bulk", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		n := 0
+		for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+			if line == "" {
+				continue
+			}
+			var op struct{ Op, Name string }
+			if err := json.Unmarshal([]byte(line), &op); err != nil || op.Name == "" {
+				w.Write([]byte(`{"applied":0,"failed":1,"errors":[{"error":"bad line"}]}`)) //nolint:errcheck
+				return
+			}
+			n++
+		}
+		bulkOps.Add(int64(n))
+		w.Write([]byte(`{"applied":` + jsonInt(n) + `,"failed":0}`)) //nolint:errcheck
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, &searches, &bulkOps
+}
+
+func jsonInt(n int) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}
+
+func TestRunMixedWorkload(t *testing.T) {
+	srv, searches, bulkOps := stubServer(t, false)
+	cfg := config{
+		addr:     srv.URL,
+		qps:      400,
+		duration: 250 * time.Millisecond,
+		mutate:   0.3,
+		seed:     7,
+		preload:  40,
+		k:        5,
+		timeout:  5 * time.Second,
+	}
+	rep, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalErrors != 0 {
+		t.Fatalf("errors: %d (%v)", rep.TotalErrors, rep.ErrorSamples)
+	}
+	if rep.Launched != rep.Query.Count+rep.Mutate.Count {
+		t.Fatalf("launched %d != %d+%d", rep.Launched, rep.Query.Count, rep.Mutate.Count)
+	}
+	if rep.Query.Count == 0 || rep.Mutate.Count == 0 {
+		t.Fatalf("mix degenerate: %d queries, %d mutations", rep.Query.Count, rep.Mutate.Count)
+	}
+	if int(searches.Load()) != rep.Query.Count {
+		t.Fatalf("server saw %d searches, report says %d", searches.Load(), rep.Query.Count)
+	}
+	// Preload went through bulk: at least the 40 preload upserts.
+	if bulkOps.Load() < 40 {
+		t.Fatalf("server saw %d bulk ops, want >= 40 preloads", bulkOps.Load())
+	}
+	if rep.Query.P50MS <= 0 || rep.Query.P99MS < rep.Query.P50MS || rep.Query.MaxMS < rep.Query.P99MS {
+		t.Fatalf("percentiles inconsistent: %+v", rep.Query)
+	}
+	if rep.AchievedQPS <= 0 {
+		t.Fatal("achieved QPS not computed")
+	}
+}
+
+func TestRunCountsErrors(t *testing.T) {
+	srv, _, _ := stubServer(t, true)
+	rep, err := run(config{
+		addr: srv.URL, qps: 200, duration: 100 * time.Millisecond,
+		mutate: 0, seed: 1, k: 5, timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalErrors != rep.Query.Count || rep.Query.Errors != rep.Query.Count {
+		t.Fatalf("every search should have errored: %+v", rep)
+	}
+	if len(rep.ErrorSamples) == 0 {
+		t.Fatal("no error samples captured")
+	}
+}
+
+func TestRunSameSeedSameSchedule(t *testing.T) {
+	srv, _, _ := stubServer(t, false)
+	cfg := config{
+		addr: srv.URL, qps: 500, duration: 100 * time.Millisecond,
+		mutate: 0.5, seed: 42, k: 5, timeout: 5 * time.Second,
+	}
+	a, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Query.Count != b.Query.Count || a.Mutate.Count != b.Mutate.Count {
+		t.Fatalf("same seed, different mix: %d/%d vs %d/%d",
+			a.Query.Count, a.Mutate.Count, b.Query.Count, b.Mutate.Count)
+	}
+}
+
+// A 429 is backpressure, not failure: the generator backs off and
+// retries the (retry-safe) batch, counting the retry instead of an
+// error.
+func TestMutateRetriesOn429(t *testing.T) {
+	var calls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/admin/bulk", func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"applied":1,"failed":0}`)) //nolint:errcheck
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var retries atomic.Int64
+	cfg := config{addr: srv.URL, timeout: 5 * time.Second}
+	if errStr := doMutate(&http.Client{Timeout: cfg.timeout}, cfg, 1, 0, &retries); errStr != "" {
+		t.Fatalf("mutate failed despite retry budget: %s", errStr)
+	}
+	if retries.Load() != 2 || calls.Load() != 3 {
+		t.Fatalf("retries=%d calls=%d, want 2 retries over 3 calls", retries.Load(), calls.Load())
+	}
+
+	// Persistent 429s exhaust the budget and surface as an error.
+	calls.Store(-1000)
+	retries.Store(0)
+	if errStr := doMutate(&http.Client{Timeout: cfg.timeout}, cfg, 1, 0, &retries); !strings.Contains(errStr, "429") {
+		t.Fatalf("exhausted retries should report 429, got %q", errStr)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := run(config{qps: 0}); err == nil {
+		t.Error("qps 0 accepted")
+	}
+	if _, err := run(config{qps: 10, mutate: 1.5}); err == nil {
+		t.Error("mutate 1.5 accepted")
+	}
+}
+
+func TestSummarizePercentiles(t *testing.T) {
+	var s sloSummary
+	lat := make([]time.Duration, 100)
+	for i := range lat {
+		lat[i] = time.Duration(i+1) * time.Millisecond
+	}
+	summarize(&s, lat)
+	if s.Count != 100 || s.P50MS != 50 || s.P95MS != 95 || s.P99MS != 99 || s.MaxMS != 100 {
+		t.Fatalf("percentiles: %+v", s)
+	}
+	var empty sloSummary
+	summarize(&empty, nil)
+	if empty.Count != 0 || empty.P50MS != 0 {
+		t.Fatalf("empty summary: %+v", empty)
+	}
+}

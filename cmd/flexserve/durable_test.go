@@ -1,0 +1,218 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"flexpath"
+	"flexpath/internal/obs"
+)
+
+// durableServer builds a handler over a WAL-backed collection in dir and
+// returns the server plus the durable handle (for Close between
+// "restarts").
+func durableServer(t *testing.T, dir string, maxBulk int) (*httptest.Server, *flexpath.DurableCollection) {
+	t.Helper()
+	dur, err := flexpath.OpenDurableCollection(dir, flexpath.DurableOptions{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := newHandlerConfig(dur.Collection(), handlerConfig{admin: true, durable: dur, maxBulk: maxBulk})
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv, dur
+}
+
+func bulkLine(op, name, doc string) string {
+	b, _ := json.Marshal(bulkOp{Op: op, Name: name, Doc: doc})
+	return string(b) + "\n"
+}
+
+func TestAdminBulkNonDurable(t *testing.T) {
+	hh, _ := newHandlerConfig(testColl(t), handlerConfig{admin: true})
+	srv := httptest.NewServer(hh)
+	defer srv.Close()
+
+	batch := bulkLine("upsert", "a.xml", adminXML) +
+		bulkLine("add", "b.xml", adminXML) +
+		bulkLine("replace", "b.xml", serveXML) +
+		bulkLine("remove", "a.xml", "") +
+		bulkLine("remove", "never-existed.xml", "") // retry-safe: no-op, not an error
+	resp, body := post(t, srv.URL+"/admin/bulk", batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bulk status %d: %s", resp.StatusCode, body)
+	}
+	var br bulkResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Applied != 5 || br.Failed != 0 {
+		t.Fatalf("applied=%d failed=%d (%s), want 5/0", br.Applied, br.Failed, body)
+	}
+	if br.Documents != 2 { // lib.xml + b.xml
+		t.Fatalf("documents=%d, want 2", br.Documents)
+	}
+
+	// Per-line failures are reported with their line numbers; the batch
+	// still applies the good lines before a malformed one stops it.
+	batch = bulkLine("add", "b.xml", adminXML) + // duplicate -> error
+		bulkLine("upsert", "c.xml", adminXML) +
+		"{not json\n"
+	resp, body = post(t, srv.URL+"/admin/bulk", batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bulk status %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Applied != 1 || br.Failed != 2 || len(br.Errors) != 2 {
+		t.Fatalf("applied=%d failed=%d errors=%v, want 1 applied and 2 failures", br.Applied, br.Failed, br.Errors)
+	}
+	if br.Errors[0].Line != 1 || br.Errors[1].Line != 3 {
+		t.Fatalf("error lines %d,%d, want 1,3", br.Errors[0].Line, br.Errors[1].Line)
+	}
+
+	// GET is not a mutation.
+	resp, _ = get(t, srv.URL+"/admin/bulk")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET bulk: %d, want 405", resp.StatusCode)
+	}
+}
+
+// The bulk concurrency bound rejects deterministically: a batch beyond
+// maxBulk gets 429 + Retry-After before its body is read.
+func TestAdminBulkBackpressure(t *testing.T) {
+	hh, _ := newHandlerConfig(testColl(t), handlerConfig{admin: true, maxBulk: 1})
+	h := hh.(*handler)
+	srv := httptest.NewServer(hh)
+	defer srv.Close()
+
+	// First batch: a body that never finishes keeps the slot held.
+	pr, pw := io.Pipe()
+	defer pw.Close()
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/admin/bulk", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if resp != nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	// Wait until the held batch occupies the semaphore.
+	deadline := time.Now().Add(5 * time.Second)
+	for h.srv.bulkInFlight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first batch never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, body := post(t, srv.URL+"/admin/bulk", bulkLine("upsert", "x.xml", adminXML))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second batch: %d (%s), want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if got := h.srv.bulkRejected.Load(); got != 1 {
+		t.Fatalf("bulkRejected = %d, want 1", got)
+	}
+
+	// Release the held batch; it completes normally.
+	if _, err := io.WriteString(pw, bulkLine("upsert", "y.xml", adminXML)); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("held batch failed: %v", err)
+	}
+
+	// The rejection is visible in /metrics and the exposition stays valid.
+	_, metrics := get(t, srv.URL+"/metrics")
+	if !strings.Contains(string(metrics), "flexpath_server_bulk_rejected_total 1") {
+		t.Error("bulk rejection not exported")
+	}
+	if err := obs.ValidateExposition(metrics); err != nil {
+		t.Errorf("invalid exposition: %v", err)
+	}
+}
+
+// End-to-end durability through the HTTP layer: mutate over /admin/,
+// "crash" (close without checkpoint), restart on the same directory, and
+// search results must be byte-identical while the recovery counters show
+// up in /metrics.
+func TestDurableAdminRecovery(t *testing.T) {
+	dir := t.TempDir()
+	srv, dur := durableServer(t, dir, 0)
+
+	if resp, body := post(t, srv.URL+"/admin/add?name=lib.xml", serveXML); resp.StatusCode != http.StatusOK {
+		t.Fatalf("add: %d %s", resp.StatusCode, body)
+	}
+	if resp, _ := post(t, srv.URL+"/admin/add?name=lib.xml", serveXML); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate add: %d, want 409", resp.StatusCode)
+	}
+	if resp, _ := post(t, srv.URL+"/admin/replace?name=ghost.xml", serveXML); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("replace missing: %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := post(t, srv.URL+"/admin/remove?name=ghost.xml", ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("remove missing: %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := post(t, srv.URL+"/admin/add?name=bad.xml", "<unclosed"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad XML: %d, want 400", resp.StatusCode)
+	}
+	if resp, body := post(t, srv.URL+"/admin/bulk",
+		bulkLine("upsert", "extra.xml", adminXML)+bulkLine("remove", "nothing.xml", "")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("bulk: %d %s", resp.StatusCode, body)
+	}
+
+	_, want := get(t, fmt.Sprintf("%s/search?q=%s&k=10", srv.URL, escape(serveQuery)))
+
+	srv.Close()
+	dur.Close()
+
+	srv2, dur2 := durableServer(t, dir, 0)
+	defer dur2.Close()
+	if s := dur2.Stats(); s.ReplayedRecords == 0 {
+		t.Fatal("no records replayed on restart")
+	}
+	_, got := get(t, fmt.Sprintf("%s/search?q=%s&k=10", srv2.URL, escape(serveQuery)))
+	// Byte-identical ranking: compare the answer payloads (the response's
+	// elapsed_ms is wall time and naturally differs).
+	var wantResp, gotResp searchResponse
+	if err := json.Unmarshal(want, &wantResp); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(got, &gotResp); err != nil {
+		t.Fatal(err)
+	}
+	wantAns, _ := json.Marshal(wantResp.Answers)
+	gotAns, _ := json.Marshal(gotResp.Answers)
+	if len(wantResp.Answers) == 0 || string(gotAns) != string(wantAns) {
+		t.Fatalf("search after recovery differs:\n%s\nvs\n%s", gotAns, wantAns)
+	}
+
+	_, metrics := get(t, srv2.URL+"/metrics")
+	for _, family := range []string{
+		"flexpath_wal_appended_records_total",
+		"flexpath_wal_replayed_records_total",
+		"flexpath_wal_fsynced_records_total",
+		"flexpath_wal_log_bytes",
+	} {
+		if !strings.Contains(string(metrics), family) {
+			t.Errorf("metrics missing %s", family)
+		}
+	}
+	if err := obs.ValidateExposition(metrics); err != nil {
+		t.Errorf("invalid exposition with WAL families: %v", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/http/pprof"
@@ -26,6 +27,13 @@ type serverMetrics struct {
 	inFlight atomic.Int64
 	shed     atomic.Uint64
 	panics   atomic.Uint64
+	// bulk ingest counters (flexpath_server_bulk_*): batches currently
+	// executing, batches rejected by the concurrency bound, and individual
+	// operations applied / failed across all batches.
+	bulkInFlight atomic.Int64
+	bulkRejected atomic.Uint64
+	bulkApplied  atomic.Uint64
+	bulkFailed   atomic.Uint64
 }
 
 // handler serves the JSON API over a collection.
@@ -40,7 +48,15 @@ type handler struct {
 	// its capacity is the max-in-flight limit, and a request that cannot
 	// acquire a slot immediately is shed with 503 + Retry-After.
 	sem chan struct{}
-	srv serverMetrics
+	// dur, when non-nil, is the durable collection the admin mutation
+	// endpoints write through: mutations are WAL-logged and fsync'd before
+	// the response is sent. coll aliases dur.Collection() in that case.
+	dur *flexpath.DurableCollection
+	// bulkSem, when non-nil, bounds concurrently executing /admin/bulk
+	// batches; excess batches are rejected with 429 before their body is
+	// read, so backpressure costs the client no upload bandwidth.
+	bulkSem chan struct{}
+	srv     serverMetrics
 }
 
 // handlerConfig configures optional serving features.
@@ -58,6 +74,12 @@ type handlerConfig struct {
 	maxInFlight int
 	// admin exposes the corpus-mutation endpoints under /admin/.
 	admin bool
+	// durable, when set, routes admin mutations through the write-ahead
+	// log; coll must be durable.Collection().
+	durable *flexpath.DurableCollection
+	// maxBulk caps concurrently executing /admin/bulk batches; excess is
+	// rejected with 429. 0 means unlimited.
+	maxBulk int
 }
 
 func newHandler(coll *flexpath.Collection) http.Handler {
@@ -77,9 +99,13 @@ func newHandlerConfig(coll *flexpath.Collection, cfg handlerConfig) (http.Handle
 		mux:     http.NewServeMux(),
 		timeout: cfg.timeout,
 		reg:     obs.NewRegistry(cfg.slowCap, cfg.slowThreshold),
+		dur:     cfg.durable,
 	}
 	if cfg.maxInFlight > 0 {
 		h.sem = make(chan struct{}, cfg.maxInFlight)
+	}
+	if cfg.maxBulk > 0 {
+		h.bulkSem = make(chan struct{}, cfg.maxBulk)
 	}
 	h.mux.HandleFunc("/search", h.limited(h.search))
 	h.mux.HandleFunc("/relaxations", h.limited(h.relaxations))
@@ -95,6 +121,7 @@ func newHandlerConfig(coll *flexpath.Collection, cfg handlerConfig) (http.Handle
 		h.mux.HandleFunc("/admin/add", h.adminAdd)
 		h.mux.HandleFunc("/admin/remove", h.adminRemove)
 		h.mux.HandleFunc("/admin/replace", h.adminReplace)
+		h.mux.HandleFunc("/admin/bulk", h.adminBulk)
 	}
 	if cfg.pprof {
 		h.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -565,6 +592,43 @@ func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "# TYPE flexpath_server_panics_total counter")
 	fmt.Fprintf(w, "flexpath_server_panics_total %d\n", h.srv.panics.Load())
 
+	obs.WriteMetric(w, "flexpath_server_bulk_inflight", "gauge",
+		"Bulk admin batches currently executing.", float64(h.srv.bulkInFlight.Load()))
+	obs.WriteMetric(w, "flexpath_server_bulk_max_inflight", "gauge",
+		"Configured bulk batch concurrency bound (0 = unlimited).", float64(cap(h.bulkSem)))
+	obs.WriteMetric(w, "flexpath_server_bulk_rejected_total", "counter",
+		"Bulk batches rejected by the concurrency bound (429).", float64(h.srv.bulkRejected.Load()))
+	obs.WriteMetric(w, "flexpath_server_bulk_ops_applied_total", "counter",
+		"Individual bulk operations applied.", float64(h.srv.bulkApplied.Load()))
+	obs.WriteMetric(w, "flexpath_server_bulk_ops_failed_total", "counter",
+		"Individual bulk operations that failed.", float64(h.srv.bulkFailed.Load()))
+
+	if h.dur != nil {
+		s := h.dur.Stats()
+		obs.WriteMetric(w, "flexpath_wal_appended_records_total", "counter",
+			"Mutation records appended to the write-ahead log.", float64(s.AppendedRecords))
+		obs.WriteMetric(w, "flexpath_wal_fsyncs_total", "counter",
+			"fsync calls on the write-ahead log.", float64(s.Fsyncs))
+		obs.WriteMetric(w, "flexpath_wal_fsynced_records_total", "counter",
+			"Records made durable; ahead of fsyncs_total when group commit is batching.", float64(s.FsyncedRecords))
+		obs.WriteMetric(w, "flexpath_wal_replayed_records_total", "counter",
+			"Records replayed from the log during boot recovery.", float64(s.ReplayedRecords))
+		obs.WriteMetric(w, "flexpath_wal_torn_bytes_total", "counter",
+			"Torn tail bytes truncated during boot recovery.", float64(s.TornBytesTruncated))
+		obs.WriteMetric(w, "flexpath_wal_checkpoints_total", "counter",
+			"Checkpoints completed by this process.", float64(s.Checkpoints))
+		obs.WriteMetric(w, "flexpath_wal_checkpoint_errors_total", "counter",
+			"Checkpoint attempts that failed.", float64(s.CheckpointErrors))
+		obs.WriteMetric(w, "flexpath_wal_checkpoint_lsn", "gauge",
+			"LSN of the checkpoint boot recovery started from (0 = none).", float64(s.CheckpointLSN))
+		obs.WriteMetric(w, "flexpath_wal_last_checkpoint_duration_seconds", "gauge",
+			"Wall time of the most recent checkpoint.", s.LastCheckpointDuration.Seconds())
+		obs.WriteMetric(w, "flexpath_wal_log_bytes", "gauge",
+			"Bytes across live write-ahead log segments.", float64(s.LogBytes))
+		obs.WriteMetric(w, "flexpath_wal_log_segments", "gauge",
+			"Live write-ahead log segment files.", float64(s.LogSegments))
+	}
+
 	fmt.Fprintln(w, "# HELP flexpath_documents Documents being served.")
 	fmt.Fprintln(w, "# TYPE flexpath_documents gauge")
 	fmt.Fprintf(w, "flexpath_documents %d\n", h.coll.Len())
@@ -691,6 +755,32 @@ func (h *handler) adminDoc(w http.ResponseWriter, r *http.Request) (*flexpath.Do
 	return doc, true
 }
 
+// adminBody reads the raw (bounded) upload body for the durable path,
+// which logs the exact bytes before parsing them.
+func adminBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxAdminBody))
+	if err != nil {
+		badRequest(w, "reading body: "+err.Error())
+		return nil, false
+	}
+	return body, true
+}
+
+// durableStatus maps a DurableCollection mutation error to an HTTP
+// status: precondition sentinels become client errors, anything else —
+// an I/O failure in the log — is a 500.
+func durableStatus(err error) int {
+	switch {
+	case errors.Is(err, flexpath.ErrDocumentExists):
+		return http.StatusConflict
+	case errors.Is(err, flexpath.ErrNoDocument):
+		return http.StatusNotFound
+	case errors.Is(err, flexpath.ErrBadDocument):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
 func (h *handler) adminOK(w http.ResponseWriter, name string) {
 	writeJSON(w, http.StatusOK, adminResponse{
 		Status: "ok", Name: name,
@@ -702,6 +792,18 @@ func (h *handler) adminOK(w http.ResponseWriter, name string) {
 func (h *handler) adminAdd(w http.ResponseWriter, r *http.Request) {
 	name, ok := adminName(w, r)
 	if !ok {
+		return
+	}
+	if h.dur != nil {
+		body, ok := adminBody(w, r)
+		if !ok {
+			return
+		}
+		if err := h.dur.Add(name, body); err != nil {
+			writeJSON(w, durableStatus(err), errorBody{Error: err.Error()})
+			return
+		}
+		h.adminOK(w, name)
 		return
 	}
 	doc, ok := h.adminDoc(w, r)
@@ -721,6 +823,14 @@ func (h *handler) adminRemove(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if h.dur != nil {
+		if err := h.dur.Remove(name); err != nil {
+			writeJSON(w, durableStatus(err), errorBody{Error: err.Error()})
+			return
+		}
+		h.adminOK(w, name)
+		return
+	}
 	if err := h.coll.Remove(name); err != nil {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
 		return
@@ -734,6 +844,18 @@ func (h *handler) adminReplace(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if h.dur != nil {
+		body, ok := adminBody(w, r)
+		if !ok {
+			return
+		}
+		if err := h.dur.Replace(name, body); err != nil {
+			writeJSON(w, durableStatus(err), errorBody{Error: err.Error()})
+			return
+		}
+		h.adminOK(w, name)
+		return
+	}
 	doc, ok := h.adminDoc(w, r)
 	if !ok {
 		return
@@ -743,6 +865,133 @@ func (h *handler) adminReplace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.adminOK(w, name)
+}
+
+// maxBulkBody bounds one /admin/bulk batch upload.
+const maxBulkBody = 256 << 20
+
+// bulkOp is one line of an NDJSON /admin/bulk batch.
+type bulkOp struct {
+	Op   string `json:"op"`
+	Name string `json:"name"`
+	Doc  string `json:"doc,omitempty"`
+}
+
+type bulkOpError struct {
+	Line  int    `json:"line"`
+	Name  string `json:"name,omitempty"`
+	Error string `json:"error"`
+}
+
+type bulkResponse struct {
+	Applied   int           `json:"applied"`
+	Failed    int           `json:"failed"`
+	Errors    []bulkOpError `json:"errors,omitempty"`
+	Documents int           `json:"documents"`
+	Elements  int           `json:"elements"`
+}
+
+// adminBulk applies an NDJSON batch of mutations — one
+// {"op","name","doc"} object per line, with ops add, replace, upsert and
+// remove (the latter two retry-safe, the right verbs for ingest
+// pipelines that resend after ambiguous failures). At most maxBulk
+// batches execute concurrently; the bound is checked before the body is
+// read, so a rejected client gets its 429 without uploading anything.
+// The response always carries per-line errors with a 200: partial
+// application is reported, not rolled back (each line is individually
+// durable by the time it is counted).
+func (h *handler) adminBulk(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
+		return
+	}
+	if h.bulkSem != nil {
+		select {
+		case h.bulkSem <- struct{}{}:
+			defer func() { <-h.bulkSem }()
+		default:
+			h.srv.bulkRejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests,
+				errorBody{Error: "too many bulk batches in flight, retry later"})
+			return
+		}
+	}
+	h.srv.bulkInFlight.Add(1)
+	defer h.srv.bulkInFlight.Add(-1)
+
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBulkBody))
+	var resp bulkResponse
+	for line := 1; ; line++ {
+		var op bulkOp
+		if err := dec.Decode(&op); err == io.EOF {
+			break
+		} else if err != nil {
+			// A malformed line leaves no way to resync the stream; report
+			// and stop rather than misapply the remainder.
+			resp.Failed++
+			h.srv.bulkFailed.Add(1)
+			resp.Errors = append(resp.Errors, bulkOpError{Line: line, Error: "bad batch line: " + err.Error()})
+			break
+		}
+		if err := h.applyBulkOp(op); err != nil {
+			resp.Failed++
+			h.srv.bulkFailed.Add(1)
+			resp.Errors = append(resp.Errors, bulkOpError{Line: line, Name: op.Name, Error: err.Error()})
+			continue
+		}
+		resp.Applied++
+		h.srv.bulkApplied.Add(1)
+	}
+	resp.Documents = h.coll.Len()
+	resp.Elements = h.coll.Nodes()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// applyBulkOp routes one batch line through the durable collection when
+// one is configured, directly to the in-memory collection otherwise.
+func (h *handler) applyBulkOp(op bulkOp) error {
+	if op.Name == "" {
+		return errors.New("missing name")
+	}
+	if h.dur != nil {
+		switch op.Op {
+		case "add":
+			return h.dur.Add(op.Name, []byte(op.Doc))
+		case "replace":
+			return h.dur.Replace(op.Name, []byte(op.Doc))
+		case "upsert":
+			return h.dur.Upsert(op.Name, []byte(op.Doc))
+		case "remove":
+			_, err := h.dur.RemoveIfPresent(op.Name)
+			return err
+		}
+		return fmt.Errorf("unknown op %q", op.Op)
+	}
+	switch op.Op {
+	case "add", "replace", "upsert":
+		doc, err := flexpath.LoadString(op.Doc)
+		if err != nil {
+			return err
+		}
+		if op.Op == "add" {
+			return h.coll.Add(op.Name, doc)
+		}
+		if op.Op == "replace" {
+			return h.coll.Replace(op.Name, doc)
+		}
+		if _, ok := h.coll.Document(op.Name); ok {
+			return h.coll.Replace(op.Name, doc)
+		}
+		return h.coll.Add(op.Name, doc)
+	case "remove":
+		if _, ok := h.coll.Document(op.Name); !ok {
+			return nil
+		}
+		return h.coll.Remove(op.Name)
+	}
+	return fmt.Errorf("unknown op %q", op.Op)
 }
 
 func (h *handler) docNames() []string { return h.coll.Names() }

@@ -11,6 +11,7 @@
 //	flexserve -admin data.xml                        # expose /admin/ mutation endpoints
 //	flexserve -pprof data.xml                        # also expose /debug/pprof/
 //	flexserve -shard -addr :9001                     # empty shard behind flexrouter
+//	flexserve -wal /var/lib/flexpath data.xml        # durable corpus: WAL + checkpoints
 //
 // Endpoints:
 //
@@ -30,6 +31,20 @@
 //	POST /admin/add?name=NAME       (XML document in the body)
 //	POST /admin/remove?name=NAME
 //	POST /admin/replace?name=NAME   (XML document in the body)
+//	POST /admin/bulk                (NDJSON mutation batch in the body)
+//
+// With -wal DIR, every mutation is appended to a write-ahead log in DIR
+// and fsync'd before the response is sent, periodic checkpoints persist
+// the corpus as indexed snapshots so replay stays bounded, and on
+// startup the acknowledged corpus is recovered from DIR (kill -9 safe).
+// Bulk batches carry one JSON object per line —
+//
+//	{"op":"upsert","name":"doc.xml","doc":"<a>...</a>"}
+//	{"op":"remove","name":"doc.xml"}
+//
+// with ops add, replace, upsert and remove (upsert and remove are
+// retry-safe). At most -maxbulk batches execute concurrently; excess
+// batches are rejected with 429 + Retry-After.
 //
 // Beyond -maxinflight concurrently executing queries, requests are shed
 // with 503 + Retry-After instead of queued. On SIGINT/SIGTERM the server
@@ -47,6 +62,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"syscall"
 	"time"
 
@@ -67,17 +84,59 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "how long to drain in-flight requests on SIGINT/SIGTERM")
 	admin := flag.Bool("admin", false, "expose corpus mutation endpoints under /admin/")
 	shard := flag.Bool("shard", false, "run as a shard behind flexrouter: allow starting with an empty corpus and expose the /admin/ mutation endpoints (the router places documents here)")
+	walDir := flag.String("wal", "", "write-ahead log directory: mutations are logged and fsync'd before they are acknowledged, checkpoints bound replay time, and startup recovers the acknowledged corpus from this directory (implies -admin)")
+	walSync := flag.Duration("walsync", 2*time.Millisecond, "WAL group-commit window: how long an acknowledgment may wait so concurrent mutations share one fsync (0 fsyncs every mutation)")
+	ckptEvery := flag.Int("checkpoint-every", 1024, "mutations between automatic WAL checkpoints (negative disables)")
+	maxBulk := flag.Int("maxbulk", 4, "max concurrently executing /admin/bulk requests; excess is rejected with 429 (0 = unlimited)")
 	flag.Parse()
 
+	// With a WAL, recovery runs before command-line corpus files are
+	// seeded: acknowledged mutations (including removals of seeded
+	// documents) always win over the seed files.
+	var dur *flexpath.DurableCollection
 	coll := flexpath.NewCollection()
-	if *dir != "" {
-		c, err := flexpath.LoadCollectionDir(*dir)
+	if *walDir != "" {
+		if *ckptEvery == 0 {
+			// Flag semantics differ from the library's: an explicit 0 here
+			// reads as "never", not "default".
+			*ckptEvery = -1
+		}
+		d, err := flexpath.OpenDurableCollection(*walDir, flexpath.DurableOptions{
+			SyncWindow:      *walSync,
+			CheckpointEvery: *ckptEvery,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		coll = c
+		dur = d
+		coll = d.Collection()
+		s := d.Stats()
+		log.Printf("flexserve: wal recovery: %d documents (checkpoint lsn %d, %d records replayed, %d torn bytes truncated)",
+			coll.Len(), s.CheckpointLSN, s.ReplayedRecords, s.TornBytesTruncated)
+	}
+	if *dir != "" {
+		if dur != nil {
+			paths, err := filepath.Glob(filepath.Join(*dir, "*.xml"))
+			if err != nil {
+				log.Fatal(err)
+			}
+			sort.Strings(paths)
+			for _, path := range paths {
+				seedFile(dur, path)
+			}
+		} else {
+			c, err := flexpath.LoadCollectionDir(*dir)
+			if err != nil {
+				log.Fatal(err)
+			}
+			coll = c
+		}
 	}
 	for _, path := range flag.Args() {
+		if dur != nil {
+			seedFile(dur, path)
+			continue
+		}
 		doc, err := flexpath.LoadAuto(path)
 		if err != nil {
 			log.Fatal(err)
@@ -86,8 +145,8 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	if coll.Len() == 0 && !*shard {
-		fmt.Fprintln(os.Stderr, "flexserve: no documents given (use -shard to start empty behind flexrouter)")
+	if coll.Len() == 0 && !*shard && dur == nil {
+		fmt.Fprintln(os.Stderr, "flexserve: no documents given (use -shard to start empty behind flexrouter, or -wal to serve a durable corpus)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -108,10 +167,12 @@ func main() {
 		slowThreshold: time.Duration(*slowMS) * time.Millisecond,
 		pprof:         *pprofOn,
 		maxInFlight:   *maxInFlight,
-		admin:         *admin || *shard,
+		admin:         *admin || *shard || dur != nil,
+		durable:       dur,
+		maxBulk:       *maxBulk,
 	})
-	log.Printf("serving %d documents (%d elements) on %s (cache=%d, plancache=%d, timeout=%v, slowlog=%d@%dms, pprof=%v, maxinflight=%d, admin=%v, shard=%v)",
-		coll.Len(), coll.Nodes(), *addr, *cache, *planCache, *timeout, *slowCap, *slowMS, *pprofOn, *maxInFlight, *admin || *shard, *shard)
+	log.Printf("serving %d documents (%d elements) on %s (cache=%d, plancache=%d, timeout=%v, slowlog=%d@%dms, pprof=%v, maxinflight=%d, admin=%v, shard=%v, wal=%q)",
+		coll.Len(), coll.Nodes(), *addr, *cache, *planCache, *timeout, *slowCap, *slowMS, *pprofOn, *maxInFlight, *admin || *shard || dur != nil, *shard, *walDir)
 
 	srv := &http.Server{
 		Handler:           h,
@@ -125,7 +186,28 @@ func main() {
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	if err := serveutil.Serve("flexserve", srv, ln, sig, *drain); err != nil {
+	err = serveutil.Serve("flexserve", srv, ln, sig, *drain)
+	if dur != nil {
+		// After drain: no handler is mid-mutation, so Close only waits for
+		// a background checkpoint before sealing the log.
+		if cerr := dur.Close(); cerr != nil {
+			log.Printf("flexserve: wal close: %v", cerr)
+		}
+	}
+	if err != nil {
 		log.Fatal(err)
+	}
+}
+
+// seedFile durably ingests one command-line corpus file (XML or binary
+// snapshot) unless a document of that name already exists — recovered
+// state wins over seed files on restart.
+func seedFile(dur *flexpath.DurableCollection, path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dur.Seed(path, data); err != nil {
+		log.Fatalf("flexserve: seeding %s: %v", path, err)
 	}
 }

@@ -1,0 +1,381 @@
+package flexpath
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func durableDoc(i, rev int) []byte {
+	return []byte(fmt.Sprintf(
+		"<journal><article id='d%d'><section><algorithm>rev%d</algorithm><paragraph>XML streaming methods %d</paragraph></section></article></journal>",
+		i, rev, i))
+}
+
+var durableQuery = MustParseQuery(`//article[./section[./paragraph and .contains("XML" and "streaming")]]`)
+
+// searchKey flattens a ranking into a comparable signature.
+func searchKey(t *testing.T, c *Collection) string {
+	t.Helper()
+	answers, err := c.Search(durableQuery, SearchOptions{K: 50})
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	var sb strings.Builder
+	for _, a := range answers {
+		fmt.Fprintf(&sb, "%s|%s|%g|%g|%d\n", a.DocName, a.Path, a.Structural, a.Keyword, a.Relaxations)
+	}
+	return sb.String()
+}
+
+func TestDurableRecoverFromLogOnly(t *testing.T) {
+	dir := t.TempDir()
+	dc, err := OpenDurableCollection(dir, DurableOptions{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := dc.Add(fmt.Sprintf("doc%d.xml", i), durableDoc(i, 1)); err != nil {
+			t.Fatalf("add %d: %v", i, err)
+		}
+	}
+	if err := dc.Replace("doc2.xml", durableDoc(2, 2)); err != nil {
+		t.Fatalf("replace: %v", err)
+	}
+	if err := dc.Remove("doc4.xml"); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	want := searchKey(t, dc.Collection())
+	wantNames := dc.Collection().Names()
+	// No Close: simulate a crash by abandoning the handle (records are
+	// durable the moment each mutation returned).
+	dc2, err := OpenDurableCollection(dir, DurableOptions{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer dc2.Close()
+	if s := dc2.Stats(); s.ReplayedRecords != 7 {
+		t.Fatalf("replayed %d records, want 7", s.ReplayedRecords)
+	}
+	if got := dc2.Collection().Names(); !reflect.DeepEqual(got, wantNames) {
+		t.Fatalf("recovered names %v, want %v", got, wantNames)
+	}
+	if got := searchKey(t, dc2.Collection()); got != want {
+		t.Fatalf("recovered ranking differs:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestDurableRecoverFromCheckpointAndTail(t *testing.T) {
+	dir := t.TempDir()
+	dc, err := OpenDurableCollection(dir, DurableOptions{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := dc.Add(fmt.Sprintf("doc%d.xml", i), durableDoc(i, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dc.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if s := dc.Stats(); s.Checkpoints != 1 || s.LogSegments != 1 {
+		t.Fatalf("after checkpoint: %+v, want 1 checkpoint and only the active segment", s)
+	}
+	// Tail mutations after the checkpoint.
+	if err := dc.Replace("doc1.xml", durableDoc(1, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Add("doc9.xml", durableDoc(9, 1)); err != nil {
+		t.Fatal(err)
+	}
+	want := searchKey(t, dc.Collection())
+
+	dc2, err := OpenDurableCollection(dir, DurableOptions{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer dc2.Close()
+	s := dc2.Stats()
+	if s.CheckpointLSN == 0 {
+		t.Fatal("recovery did not boot from the checkpoint")
+	}
+	if s.ReplayedRecords != 2 {
+		t.Fatalf("replayed %d records, want only the 2 post-checkpoint ones", s.ReplayedRecords)
+	}
+	if got := searchKey(t, dc2.Collection()); got != want {
+		t.Fatalf("recovered ranking differs:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestDurableAutomaticCheckpointAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	dc, err := OpenDurableCollection(dir, DurableOptions{CheckpointEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := dc.Add(fmt.Sprintf("doc%d.xml", i), durableDoc(i, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := dc.Stats().Checkpoints; n == 0 {
+		t.Fatal("no automatic checkpoint ran")
+	}
+	want := searchKey(t, dc.Collection())
+	dc2, err := OpenDurableCollection(dir, DurableOptions{})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer dc2.Close()
+	if got := searchKey(t, dc2.Collection()); got != want {
+		t.Fatal("recovered ranking differs after automatic checkpoints")
+	}
+}
+
+func TestDurableTornTailRecovers(t *testing.T) {
+	dir := t.TempDir()
+	dc, err := OpenDurableCollection(dir, DurableOptions{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := dc.Add(fmt.Sprintf("doc%d.xml", i), durableDoc(i, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dc.Close()
+	// Chop bytes off the single segment's tail: the last record becomes
+	// torn, recovery must keep the first two documents.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seg string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "wal-") {
+			seg = filepath.Join(dir, e.Name())
+		}
+	}
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+	dc2, err := OpenDurableCollection(dir, DurableOptions{CheckpointEvery: -1})
+	if err != nil {
+		t.Fatalf("recovery after torn tail: %v", err)
+	}
+	defer dc2.Close()
+	s := dc2.Stats()
+	if s.ReplayedRecords != 2 || s.TornBytesTruncated == 0 {
+		t.Fatalf("stats = %+v, want 2 replayed with torn bytes counted", s)
+	}
+	if got := dc2.Collection().Names(); !reflect.DeepEqual(got, []string{"doc0.xml", "doc1.xml"}) {
+		t.Fatalf("recovered names %v, want the first two docs", got)
+	}
+}
+
+func TestDurablePreconditionErrors(t *testing.T) {
+	dc, err := OpenDurableCollection(t.TempDir(), DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dc.Close()
+	if err := dc.Add("a.xml", durableDoc(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Add("a.xml", durableDoc(0, 2)); !errors.Is(err, ErrDocumentExists) {
+		t.Fatalf("duplicate add: %v, want ErrDocumentExists", err)
+	}
+	if err := dc.Replace("missing.xml", durableDoc(1, 1)); !errors.Is(err, ErrNoDocument) {
+		t.Fatalf("replace missing: %v, want ErrNoDocument", err)
+	}
+	if err := dc.Remove("missing.xml"); !errors.Is(err, ErrNoDocument) {
+		t.Fatalf("remove missing: %v, want ErrNoDocument", err)
+	}
+	if err := dc.Add("bad.xml", []byte("<unclosed")); err == nil {
+		t.Fatal("malformed XML accepted")
+	}
+	// Failed mutations must not have been logged: recovery sees one doc.
+	appended := dc.Stats().AppendedRecords
+	if appended != 1 {
+		t.Fatalf("appended %d records, want 1 (failures must not log)", appended)
+	}
+	// Idempotent variants.
+	if err := dc.Upsert("a.xml", durableDoc(0, 3)); err != nil {
+		t.Fatalf("upsert existing: %v", err)
+	}
+	if err := dc.Upsert("b.xml", durableDoc(2, 1)); err != nil {
+		t.Fatalf("upsert new: %v", err)
+	}
+	if removed, err := dc.RemoveIfPresent("b.xml"); err != nil || !removed {
+		t.Fatalf("RemoveIfPresent(b) = %v, %v", removed, err)
+	}
+	if removed, err := dc.RemoveIfPresent("b.xml"); err != nil || removed {
+		t.Fatalf("second RemoveIfPresent(b) = %v, %v, want no-op", removed, err)
+	}
+}
+
+func TestDurableSeedOnlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	dc, err := OpenDurableCollection(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Seed("seed.xml", durableDoc(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Durably mutate the seeded document, then "restart" and re-seed: the
+	// mutation must win over the seed file.
+	if err := dc.Replace("seed.xml", durableDoc(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	want := searchKey(t, dc.Collection())
+	dc.Close()
+	dc2, err := OpenDurableCollection(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dc2.Close()
+	if err := dc2.Seed("seed.xml", durableDoc(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := searchKey(t, dc2.Collection()); got != want {
+		t.Fatal("re-seeding overwrote a durable mutation")
+	}
+	// Seeding a binary snapshot works too (magic-routed).
+	doc, err := LoadString("<lib><book id='s1'><chapter><para>snapshot seeded text</para></chapter></book></lib>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(t.TempDir(), "s.fxp2")
+	if err := doc.SaveIndexedSnapshotFile(snap); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dc2.Seed("snap.fxp2", raw); err != nil {
+		t.Fatalf("seeding snapshot bytes: %v", err)
+	}
+	if _, ok := dc2.Collection().Document("snap.fxp2"); !ok {
+		t.Fatal("snapshot seed not added")
+	}
+}
+
+// TestDurableMutateWhileCheckpointing is the -race stress test: searches,
+// mutations and forced checkpoints all running concurrently, then a
+// recovery that must land on exactly the final acknowledged state.
+func TestDurableMutateWhileCheckpointing(t *testing.T) {
+	dir := t.TempDir()
+	dc, err := OpenDurableCollection(dir, DurableOptions{CheckpointEvery: 5, SyncWindow: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := dc.Add(fmt.Sprintf("doc%d.xml", i), durableDoc(i, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const (
+		mutators = 4
+		rounds   = 25
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, mutators+2)
+	for m := 0; m < mutators; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			for r := 1; r <= rounds; r++ {
+				name := fmt.Sprintf("doc%d.xml", m)
+				if err := dc.Upsert(name, durableDoc(m, r)); err != nil {
+					errCh <- fmt.Errorf("mutator %d round %d: %w", m, r, err)
+					return
+				}
+				extra := fmt.Sprintf("extra-%d.xml", m)
+				if r%2 == 0 {
+					if err := dc.Upsert(extra, durableDoc(100+m, r)); err != nil {
+						errCh <- err
+						return
+					}
+				} else {
+					if _, err := dc.RemoveIfPresent(extra); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(m)
+	}
+	wg.Add(1)
+	go func() { // searches racing the mutations
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if _, err := dc.Collection().Search(durableQuery, SearchOptions{K: 10}); err != nil {
+				errCh <- fmt.Errorf("search: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // explicit checkpoints racing the automatic ones
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if err := dc.Checkpoint(); err != nil {
+				errCh <- fmt.Errorf("checkpoint: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	want := searchKey(t, dc.Collection())
+	if err := dc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dc2, err := OpenDurableCollection(dir, DurableOptions{})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer dc2.Close()
+	if got := searchKey(t, dc2.Collection()); got != want {
+		t.Fatalf("recovered ranking differs from pre-crash state:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestDurableClosedRejectsMutations(t *testing.T) {
+	dc, err := OpenDurableCollection(t.TempDir(), DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Add("a.xml", durableDoc(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Add("b.xml", durableDoc(1, 1)); err == nil {
+		t.Fatal("mutation accepted after Close")
+	}
+	// Searches keep working on the closed collection.
+	if _, err := dc.Collection().Search(durableQuery, SearchOptions{K: 5}); err != nil {
+		t.Fatalf("search after close: %v", err)
+	}
+}

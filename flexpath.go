@@ -47,6 +47,7 @@ import (
 	"flexpath/internal/rank"
 	"flexpath/internal/stats"
 	"flexpath/internal/tpq"
+	"flexpath/internal/wal"
 	"flexpath/internal/xmltree"
 )
 
@@ -286,17 +287,10 @@ func (d *Document) SaveSnapshot(w io.Writer) error {
 	return d.tree.WriteBinary(w)
 }
 
-// SaveSnapshotFile writes a binary snapshot to path.
+// SaveSnapshotFile writes a binary snapshot to path, atomically: a crash
+// mid-save never corrupts an existing snapshot at path.
 func (d *Document) SaveSnapshotFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := d.SaveSnapshot(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return wal.WriteFileAtomic(path, d.SaveSnapshot)
 }
 
 // LoadSnapshot restores a document from a SaveSnapshot stream.

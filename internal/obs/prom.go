@@ -44,6 +44,14 @@ func WriteHistogram(w io.Writer, name, labelKey, labelVal string, s HistogramSna
 	fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, labelKey, lv, s.Count)
 }
 
+// WriteMetric renders one unlabeled sample with its HELP and TYPE
+// headers. kind is "counter" or "gauge". Serving layers with many
+// single-sample families (flexserve's WAL counters) render them through
+// this instead of hand-writing the three-line exposition stanza.
+func WriteMetric(w io.Writer, name, kind, help string, value float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, kind, name, value)
+}
+
 // WritePrometheus renders the registry's counters, histograms and the
 // in-flight gauge in the Prometheus text exposition format. Serving
 // callers append their own families (e.g. cache counters) after it.

@@ -1,0 +1,55 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a file so that path never holds a partial
+// state: the content goes to a temp file in the same directory, is
+// fsync'd, and only then renamed over path, with the directory fsync'd
+// so the rename itself survives a crash. On any error the temp file is
+// removed and the previous contents of path (if any) are untouched. The
+// checkpointer and snapshot saving share this helper: a crash mid-write
+// must never leave a truncated, unloadable file where a good one was.
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()           //nolint:errcheck // already failing
+			os.Remove(tmp.Name()) //nolint:errcheck // best effort
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory so recent renames and creations in it are
+// durable.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,204 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Checkpoint container ("FXPC"): a point-in-time image of the whole
+// corpus that bounds WAL replay. The payload is opaque to this package —
+// callers store one blob per document (in practice an FXP2 indexed
+// snapshot) plus its name; the container adds the covered LSN and a
+// trailing CRC32C so a damaged checkpoint is detected rather than
+// half-loaded.
+//
+// Layout: magic "FXPC", then (uvarint lsn, uvarint count, count x
+// (uvarint name length, name, uvarint blob length, blob)), then a 4-byte
+// little-endian CRC32C of everything between the magic and the CRC.
+//
+// Checkpoints are written atomically (WriteFileAtomic) under names
+// embedding the covered LSN, so recovery can pick the newest and fall
+// back to an older one if the newest fails verification.
+var checkpointMagic = [4]byte{'F', 'X', 'P', 'C'}
+
+const (
+	ckptPrefix  = "checkpoint-"
+	ckptSuffix  = ".fxpc"
+	ckptPattern = ckptPrefix + "%016x" + ckptSuffix
+)
+
+// CheckpointDoc is one named document blob inside a checkpoint.
+type CheckpointDoc struct {
+	Name string
+	Data []byte
+}
+
+// WriteCheckpoint atomically writes a checkpoint covering every record
+// with LSN <= lsn, then deletes older checkpoint files (best effort —
+// the newest valid one is all recovery needs).
+func WriteCheckpoint(dir string, lsn uint64, docs []CheckpointDoc) error {
+	path := filepath.Join(dir, fmt.Sprintf(ckptPattern, lsn))
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		bw := bufio.NewWriterSize(w, 1<<16)
+		crc := crc32.New(castagnoli)
+		mw := io.MultiWriter(bw, crc)
+		if _, err := bw.Write(checkpointMagic[:]); err != nil {
+			return err
+		}
+		var buf [binary.MaxVarintLen64]byte
+		putUvarint := func(v uint64) error {
+			n := binary.PutUvarint(buf[:], v)
+			_, err := mw.Write(buf[:n])
+			return err
+		}
+		if err := putUvarint(lsn); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(len(docs))); err != nil {
+			return err
+		}
+		for _, d := range docs {
+			if err := putUvarint(uint64(len(d.Name))); err != nil {
+				return err
+			}
+			if _, err := io.WriteString(mw, d.Name); err != nil {
+				return err
+			}
+			if err := putUvarint(uint64(len(d.Data))); err != nil {
+				return err
+			}
+			if _, err := mw.Write(d.Data); err != nil {
+				return err
+			}
+		}
+		var sum [4]byte
+		binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+		if _, err := bw.Write(sum[:]); err != nil {
+			return err
+		}
+		return bw.Flush()
+	})
+	if err != nil {
+		return err
+	}
+	for _, c := range listCheckpoints(dir) {
+		if c.lsn < lsn {
+			os.Remove(filepath.Join(dir, c.name)) //nolint:errcheck // best effort
+		}
+	}
+	return nil
+}
+
+// ReadLatestCheckpoint loads the newest checkpoint in dir that verifies,
+// falling back to older ones if the newest is damaged. found is false
+// when dir holds no checkpoint at all; a checkpoint that exists but
+// cannot be verified (and has no older fallback) is an error, because
+// the WAL records it covered may already be pruned.
+func ReadLatestCheckpoint(dir string) (lsn uint64, docs []CheckpointDoc, found bool, err error) {
+	cks := listCheckpoints(dir)
+	if len(cks) == 0 {
+		return 0, nil, false, nil
+	}
+	var lastErr error
+	for i := len(cks) - 1; i >= 0; i-- {
+		lsn, docs, err := readCheckpoint(filepath.Join(dir, cks[i].name))
+		if err == nil {
+			return lsn, docs, true, nil
+		}
+		lastErr = fmt.Errorf("wal: checkpoint %s: %w", cks[i].name, err)
+	}
+	return 0, nil, true, lastErr
+}
+
+func readCheckpoint(path string) (uint64, []CheckpointDoc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(raw) < len(checkpointMagic)+4 || string(raw[:4]) != string(checkpointMagic[:]) {
+		return 0, nil, errors.New("bad magic")
+	}
+	body, sum := raw[4:len(raw)-4], raw[len(raw)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(sum) {
+		return 0, nil, errors.New("checksum mismatch")
+	}
+	p := body
+	take := func() (uint64, error) {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, errors.New("truncated varint")
+		}
+		p = p[n:]
+		return v, nil
+	}
+	lsn, err := take()
+	if err != nil {
+		return 0, nil, err
+	}
+	count, err := take()
+	if err != nil {
+		return 0, nil, err
+	}
+	docs := make([]CheckpointDoc, 0, count)
+	for i := uint64(0); i < count; i++ {
+		nameLen, err := take()
+		if err != nil {
+			return 0, nil, err
+		}
+		if uint64(len(p)) < nameLen {
+			return 0, nil, errors.New("truncated name")
+		}
+		name := string(p[:nameLen])
+		p = p[nameLen:]
+		blobLen, err := take()
+		if err != nil {
+			return 0, nil, err
+		}
+		if uint64(len(p)) < blobLen {
+			return 0, nil, errors.New("truncated blob")
+		}
+		docs = append(docs, CheckpointDoc{Name: name, Data: append([]byte(nil), p[:blobLen]...)})
+		p = p[blobLen:]
+	}
+	if len(p) != 0 {
+		return 0, nil, errors.New("trailing bytes")
+	}
+	return lsn, docs, nil
+}
+
+type checkpointFile struct {
+	name string
+	lsn  uint64
+}
+
+// listCheckpoints returns checkpoint files sorted by covered LSN.
+func listCheckpoints(dir string) []checkpointFile {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var cks []checkpointFile
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, ckptPrefix) || !strings.HasSuffix(name, ckptSuffix) {
+			continue
+		}
+		hex := strings.TrimSuffix(strings.TrimPrefix(name, ckptPrefix), ckptSuffix)
+		lsn, err := strconv.ParseUint(hex, 16, 64)
+		if err != nil {
+			continue
+		}
+		cks = append(cks, checkpointFile{name: name, lsn: lsn})
+	}
+	sort.Slice(cks, func(i, j int) bool { return cks[i].lsn < cks[j].lsn })
+	return cks
+}

@@ -1,0 +1,148 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	docs := []CheckpointDoc{
+		{Name: "a.xml", Data: []byte("blob-a")},
+		{Name: "dir/b.xml", Data: bytes.Repeat([]byte{0xAB}, 5000)},
+		{Name: "empty.xml", Data: nil},
+	}
+	if err := WriteCheckpoint(dir, 42, docs); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	lsn, got, found, err := ReadLatestCheckpoint(dir)
+	if err != nil || !found {
+		t.Fatalf("ReadLatestCheckpoint: found=%v err=%v", found, err)
+	}
+	if lsn != 42 || len(got) != len(docs) {
+		t.Fatalf("lsn=%d docs=%d, want 42/%d", lsn, len(got), len(docs))
+	}
+	for i := range docs {
+		if got[i].Name != docs[i].Name || !bytes.Equal(got[i].Data, docs[i].Data) {
+			t.Fatalf("doc %d = %+v, want %+v", i, got[i], docs[i])
+		}
+	}
+}
+
+func TestCheckpointNewestWinsAndPrunesOlder(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteCheckpoint(dir, 10, []CheckpointDoc{{Name: "old.xml", Data: []byte("old")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCheckpoint(dir, 20, []CheckpointDoc{{Name: "new.xml", Data: []byte("new")}}); err != nil {
+		t.Fatal(err)
+	}
+	lsn, docs, found, err := ReadLatestCheckpoint(dir)
+	if err != nil || !found || lsn != 20 || len(docs) != 1 || docs[0].Name != "new.xml" {
+		t.Fatalf("got lsn=%d docs=%v found=%v err=%v, want the lsn-20 checkpoint", lsn, docs, found, err)
+	}
+	// Writing lsn-20 pruned the lsn-10 file.
+	if _, err := os.Stat(filepath.Join(dir, fmt.Sprintf(ckptPattern, uint64(10)))); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("older checkpoint not pruned: %v", err)
+	}
+}
+
+func TestCheckpointCorruptFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteCheckpoint(dir, 10, []CheckpointDoc{{Name: "good.xml", Data: []byte("good")}}); err != nil {
+		t.Fatal(err)
+	}
+	// Plant a newer, damaged checkpoint by hand (WriteCheckpoint would
+	// have pruned the good one, so write the file directly).
+	bad := filepath.Join(dir, fmt.Sprintf(ckptPattern, uint64(99)))
+	raw, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf(ckptPattern, uint64(10))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lsn, docs, found, err := ReadLatestCheckpoint(dir)
+	if err != nil || !found || lsn != 10 || len(docs) != 1 || docs[0].Name != "good.xml" {
+		t.Fatalf("fallback failed: lsn=%d docs=%v found=%v err=%v", lsn, docs, found, err)
+	}
+}
+
+func TestCheckpointAllCorruptIsError(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, fmt.Sprintf(ckptPattern, uint64(7)))
+	if err := os.WriteFile(bad, []byte("FXPCgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, found, err := ReadLatestCheckpoint(dir)
+	if !found || err == nil {
+		t.Fatalf("corrupt-only checkpoint dir: found=%v err=%v, want found with error", found, err)
+	}
+}
+
+func TestCheckpointEmptyDir(t *testing.T) {
+	_, _, found, err := ReadLatestCheckpoint(t.TempDir())
+	if found || err != nil {
+		t.Fatalf("empty dir: found=%v err=%v", found, err)
+	}
+}
+
+func TestWriteFileAtomicPreservesOldOnError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.fxp2")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "good contents")
+		return err
+	}); err != nil {
+		t.Fatalf("initial write: %v", err)
+	}
+	// A writer that fails midway — after emitting partial bytes, like a
+	// crashed snapshot save — must leave the visible file untouched.
+	boom := errors.New("boom")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		if _, err := io.WriteString(w, "partial gar"); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "good contents" {
+		t.Fatalf("visible file corrupted: %q err=%v", got, err)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	for _, content := range []string{"one", "two longer contents", "3"} {
+		if err := WriteFileAtomic(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, content)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil || string(got) != content {
+			t.Fatalf("got %q err=%v, want %q", got, err, content)
+		}
+	}
+}

@@ -1,0 +1,408 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collect returns an apply func appending into *out.
+func collect(out *[]Record) func(Record) error {
+	return func(r Record) error {
+		*out = append(*out, r)
+		return nil
+	}
+}
+
+// testRecords is a varied workload: different ops, name lengths and doc
+// sizes (including empty docs and one large enough to span buffer
+// flushes).
+func testRecords() []Record {
+	docs := [][]byte{
+		[]byte("<a/>"),
+		[]byte("<doc><p>hello world</p></doc>"),
+		nil,
+		bytes.Repeat([]byte("<x>padding</x>"), 400),
+		[]byte("<b attr='1'/>"),
+		nil,
+		[]byte(strings.Repeat("z", 3)),
+		[]byte("<final/>"),
+	}
+	ops := []Op{OpAdd, OpReplace, OpRemove, OpAdd, OpReplace, OpRemove, OpAdd, OpReplace}
+	recs := make([]Record, len(docs))
+	for i := range docs {
+		recs[i] = Record{Op: ops[i], Name: fmt.Sprintf("doc-%d.xml", i), Doc: docs[i]}
+	}
+	return recs
+}
+
+// writeLog appends recs to a fresh log in dir and closes it, returning
+// the assigned LSNs.
+func writeLog(t *testing.T, dir string, recs []Record) []uint64 {
+	t.Helper()
+	l, rec, err := Open(dir, Options{}, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if rec.Scanned != 0 {
+		t.Fatalf("fresh log scanned %d records", rec.Scanned)
+	}
+	lsns := make([]uint64, len(recs))
+	for i, r := range recs {
+		lsn, err := l.Append(r.Op, r.Name, r.Doc)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		lsns[i] = lsn
+		if err := l.WaitDurable(lsn); err != nil {
+			t.Fatalf("WaitDurable %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return lsns
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	recs := testRecords()
+	lsns := writeLog(t, dir, recs)
+
+	var got []Record
+	l, rec, err := Open(dir, Options{}, collect(&got))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l.Close()
+	if rec.Replayed != len(recs) || rec.Scanned != len(recs) || rec.TornBytes != 0 {
+		t.Fatalf("recovery = %+v, want %d replayed, 0 torn", rec, len(recs))
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i, r := range got {
+		want := recs[i]
+		if r.LSN != lsns[i] || r.Op != want.Op || r.Name != want.Name || !bytes.Equal(r.Doc, want.Doc) {
+			t.Fatalf("record %d = %+v, want op=%v name=%q lsn=%d", i, r, want.Op, want.Name, lsns[i])
+		}
+	}
+	// Appending after recovery continues the LSN sequence.
+	lsn, err := l.Append(OpAdd, "after.xml", []byte("<y/>"))
+	if err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	if want := lsns[len(lsns)-1] + 1; lsn != want {
+		t.Fatalf("post-recovery LSN = %d, want %d", lsn, want)
+	}
+	if err := l.WaitDurable(lsn); err != nil {
+		t.Fatalf("WaitDurable: %v", err)
+	}
+}
+
+func TestAfterLSNSkipsCheckpointedRecords(t *testing.T) {
+	dir := t.TempDir()
+	recs := testRecords()
+	lsns := writeLog(t, dir, recs)
+
+	after := lsns[4]
+	var got []Record
+	l, rec, err := Open(dir, Options{AfterLSN: after}, collect(&got))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l.Close()
+	if rec.Scanned != len(recs) {
+		t.Fatalf("scanned %d, want %d", rec.Scanned, len(recs))
+	}
+	if want := len(recs) - 5; rec.Replayed != want || len(got) != want {
+		t.Fatalf("replayed %d (%d collected), want %d", rec.Replayed, len(got), want)
+	}
+	for _, r := range got {
+		if r.LSN <= after {
+			t.Fatalf("replayed record lsn=%d <= AfterLSN=%d", r.LSN, after)
+		}
+	}
+}
+
+// TestTornTailProperty is the crash-safety property test: a valid log
+// truncated at EVERY byte offset must recover exactly the records whose
+// frames fit in the prefix, truncate the garbage tail, never panic, and
+// accept new appends afterwards.
+func TestTornTailProperty(t *testing.T) {
+	base := t.TempDir()
+	recs := testRecords()
+	full := writeLog(t, base, recs)
+	segName := fmt.Sprintf(segPattern, uint64(1))
+	raw, err := os.ReadFile(filepath.Join(base, segName))
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+
+	// Frame boundaries: prefix length after each complete record.
+	bounds := []int64{0}
+	{
+		var recsSeen []Record
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, _, err := Open(dir, Options{}, collect(&recsSeen))
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Close()
+		off := int64(0)
+		for _, r := range recsSeen {
+			off += frameHeader + int64(len(appendPayload(nil, r.LSN, r.Op, r.Name, r.Doc)))
+			bounds = append(bounds, off)
+		}
+		if bounds[len(bounds)-1] != int64(len(raw)) {
+			t.Fatalf("frame arithmetic does not cover the file: %d vs %d", bounds[len(bounds)-1], len(raw))
+		}
+	}
+	// wantRecords(cut) = number of complete frames within the prefix.
+	wantRecords := func(cut int64) int {
+		n := 0
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= cut {
+				n = i
+			}
+		}
+		return n
+	}
+
+	for cut := 0; cut <= len(raw); cut++ {
+		dir := t.TempDir()
+		path := filepath.Join(dir, segName)
+		if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got []Record
+		l, rec, err := Open(dir, Options{}, collect(&got))
+		if err != nil {
+			t.Fatalf("cut=%d: Open: %v", cut, err)
+		}
+		want := wantRecords(int64(cut))
+		if len(got) != want {
+			t.Fatalf("cut=%d: recovered %d records, want %d", cut, len(got), want)
+		}
+		if wantTorn := int64(cut) - bounds[want]; rec.TornBytes != wantTorn {
+			t.Fatalf("cut=%d: torn bytes = %d, want %d", cut, rec.TornBytes, wantTorn)
+		}
+		if fi, err := os.Stat(path); err != nil || fi.Size() != bounds[want] {
+			t.Fatalf("cut=%d: file size %v (err %v), want truncation to %d", cut, fi, err, bounds[want])
+		}
+		// The log must remain appendable and the new record recoverable.
+		lsn, err := l.Append(OpAdd, "post-torn.xml", []byte("<p/>"))
+		if err != nil {
+			t.Fatalf("cut=%d: append: %v", cut, err)
+		}
+		if err := l.WaitDurable(lsn); err != nil {
+			t.Fatalf("cut=%d: sync: %v", cut, err)
+		}
+		if want > 0 && lsn != full[want-1]+1 {
+			t.Fatalf("cut=%d: post-recovery lsn=%d, want %d", cut, lsn, full[want-1]+1)
+		}
+		l.Close()
+		var again []Record
+		l2, _, err := Open(dir, Options{}, collect(&again))
+		if err != nil {
+			t.Fatalf("cut=%d: second open: %v", cut, err)
+		}
+		l2.Close()
+		if len(again) != want+1 {
+			t.Fatalf("cut=%d: second recovery saw %d records, want %d", cut, len(again), want+1)
+		}
+	}
+}
+
+// TestCorruptTailCRC flips a byte in the last record: replay must stop
+// before it and truncate.
+func TestCorruptTailCRC(t *testing.T) {
+	dir := t.TempDir()
+	recs := testRecords()
+	writeLog(t, dir, recs)
+	path := filepath.Join(dir, fmt.Sprintf(segPattern, uint64(1)))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	l, rec, err := Open(dir, Options{}, collect(&got))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	if len(got) != len(recs)-1 {
+		t.Fatalf("recovered %d records, want %d", len(got), len(recs)-1)
+	}
+	if rec.TornBytes == 0 {
+		t.Fatal("corrupt tail record not counted as torn")
+	}
+}
+
+// TestGroupCommitBatching: many concurrent writers inside one sync
+// window must share fsyncs instead of paying one each.
+func TestGroupCommitBatching(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SyncWindow: 40 * time.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const writers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lsn, err := l.Append(OpAdd, fmt.Sprintf("w%d.xml", i), []byte("<w/>"))
+			if err == nil {
+				err = l.WaitDurable(lsn)
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	s := l.Stats()
+	if s.AppendedRecords != writers || s.FsyncedRecords != writers {
+		t.Fatalf("stats = %+v, want %d appended and fsynced", s, writers)
+	}
+	if s.Fsyncs >= writers {
+		t.Fatalf("no batching: %d fsyncs for %d records", s.Fsyncs, writers)
+	}
+}
+
+func TestRotateAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		lsn, err := l.Append(OpAdd, fmt.Sprintf("a%d.xml", i), []byte("<a/>"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.WaitDurable(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lastLSN, err := l.Rotate()
+	if err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if lastLSN != 3 {
+		t.Fatalf("Rotate lastLSN = %d, want 3", lastLSN)
+	}
+	lsn, err := l.Append(OpAdd, "b.xml", []byte("<b/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WaitDurable(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if s := l.Stats(); s.Segments != 2 {
+		t.Fatalf("segments = %d, want 2", s.Segments)
+	}
+	if err := l.RemoveSealedSegments(); err != nil {
+		t.Fatalf("RemoveSealedSegments: %v", err)
+	}
+	if s := l.Stats(); s.Segments != 1 {
+		t.Fatalf("segments after prune = %d, want 1", s.Segments)
+	}
+	l.Close()
+
+	// Only the record after the rotation survives on disk; with
+	// AfterLSN covering the pruned prefix, replay yields exactly it.
+	var got []Record
+	l2, rec, err := Open(dir, Options{AfterLSN: lastLSN}, collect(&got))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if len(got) != 1 || got[0].Name != "b.xml" || got[0].LSN != 4 {
+		t.Fatalf("replayed %+v, want just b.xml at lsn 4", got)
+	}
+	if rec.LastLSN != 4 {
+		t.Fatalf("LastLSN = %d, want 4", rec.LastLSN)
+	}
+}
+
+func TestClosedLogRejectsOps(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(OpAdd, "x", nil); err != ErrClosed {
+		t.Fatalf("Append on closed log: %v, want ErrClosed", err)
+	}
+	if _, err := l.Rotate(); err != ErrClosed {
+		t.Fatalf("Rotate on closed log: %v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestMultiSegmentReplayOrder(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for seg := 0; seg < 3; seg++ {
+		for i := 0; i < 4; i++ {
+			name := fmt.Sprintf("s%d-r%d.xml", seg, i)
+			want = append(want, name)
+			lsn, err := l.Append(OpAdd, name, []byte("<r/>"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := l.WaitDurable(lsn); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if seg < 2 {
+			if _, err := l.Rotate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	l.Close()
+	var got []Record
+	l2, rec, err := Open(dir, Options{}, collect(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec.Replayed != len(want) {
+		t.Fatalf("replayed %d, want %d", rec.Replayed, len(want))
+	}
+	for i, r := range got {
+		if r.Name != want[i] || r.LSN != uint64(i+1) {
+			t.Fatalf("record %d = %q lsn=%d, want %q lsn=%d", i, r.Name, r.LSN, want[i], i+1)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"flexpath/internal/plancache"
 	"flexpath/internal/planner"
 	"flexpath/internal/stats"
+	"flexpath/internal/wal"
 	"flexpath/internal/xmltree"
 )
 
@@ -55,17 +56,12 @@ func (d *Document) SaveIndexedSnapshot(w io.Writer) error {
 	return bw.Flush()
 }
 
-// SaveIndexedSnapshotFile writes an indexed snapshot to path.
+// SaveIndexedSnapshotFile writes an indexed snapshot to path. The write
+// is atomic: the snapshot goes to a temp file that is fsync'd and then
+// renamed over path, so a crash mid-save never corrupts an existing
+// snapshot.
 func (d *Document) SaveIndexedSnapshotFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := d.SaveIndexedSnapshot(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return wal.WriteFileAtomic(path, d.SaveIndexedSnapshot)
 }
 
 // LoadIndexedSnapshot restores a document with its indexes from a

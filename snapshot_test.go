@@ -2,10 +2,14 @@ package flexpath
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"flexpath/internal/wal"
 )
 
 func TestSnapshotRoundTrip(t *testing.T) {
@@ -187,5 +191,68 @@ func TestIndexedSnapshotBM25Preserved(t *testing.T) {
 		if a[i].Keyword != b[i].Keyword {
 			t.Errorf("BM25 scores drifted after restore: %f vs %f", a[i].Keyword, b[i].Keyword)
 		}
+	}
+}
+
+// TestSnapshotFilePartialWriteSafe simulates a save that dies midway —
+// a crash, a full disk — and checks the previously saved snapshot at the
+// same path stays loadable. SaveIndexedSnapshotFile writes through
+// wal.WriteFileAtomic, so the partial bytes only ever land in a temp
+// file that gets cleaned up, never over the visible file.
+func TestSnapshotFilePartialWriteSafe(t *testing.T) {
+	doc, err := LoadString(articlesXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.fxp2")
+	if err := doc.SaveIndexedSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted save: emit a prefix of real snapshot bytes, then fail,
+	// exactly like a process killed mid-write.
+	boom := errors.New("simulated crash mid-save")
+	saveErr := wal.WriteFileAtomic(path, func(w io.Writer) error {
+		if _, err := w.Write(good[:len(good)/2]); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(saveErr, boom) {
+		t.Fatalf("partial save error not propagated: %v", saveErr)
+	}
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, good) {
+		t.Fatal("visible snapshot file changed after interrupted save")
+	}
+	if _, err := LoadAuto(path); err != nil {
+		t.Fatalf("snapshot unloadable after interrupted save: %v", err)
+	}
+	// No temp litter left behind for operators to trip over.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "doc.fxp2" {
+			t.Fatalf("unexpected file left in snapshot dir: %s", e.Name())
+		}
+	}
+
+	// A successful re-save replaces the file atomically.
+	if err := doc.SaveIndexedSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIndexedSnapshotFile(path); err != nil {
+		t.Fatalf("re-saved snapshot unloadable: %v", err)
 	}
 }
