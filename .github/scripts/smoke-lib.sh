@@ -54,3 +54,16 @@ answers() {
   curl -sf --get "$1/search?$2" --data-urlencode "q=$3" |
     python3 -c 'import json,sys; json.dump(json.load(sys.stdin)["answers"], sys.stdout, indent=1)' > "$4"
 }
+
+# answers_normdoc BASE_URL PARAMS QUERY OUT — like answers, but reduce
+# each answer's document name to its extensionless basename, so a server
+# seeded from doc0.xml diffs cleanly against one serving doc0.fxp3.
+answers_normdoc() {
+  curl -sf --get "$1/search?$2" --data-urlencode "q=$3" |
+    python3 -c '
+import json, os, sys
+ans = json.load(sys.stdin)["answers"]
+for a in ans:
+    a["doc"] = os.path.splitext(os.path.basename(a["doc"]))[0]
+json.dump(ans, sys.stdout, indent=1)' > "$4"
+}

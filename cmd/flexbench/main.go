@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -872,8 +873,78 @@ func (h *harness) figJoins() {
 	}
 }
 
+// figMmap is NOT a figure of the paper: it profiles the FXP3 mmap-backed
+// snapshot path against the FXP2 streamed snapshot. "open" is the cold
+// cost flexserve pays per document at startup (map the file, verify the
+// header, decode the meta section — no tree, stats or index work);
+// "fault" is the full decode paid when a search first touches a cold
+// document. The faulted document's ranking must be byte-identical to a
+// search over the document built in memory.
+func (h *harness) figMmap() {
+	h.header(26, "extra: snapshot load paths, FXP2 stream decode vs FXP3 mmap (XQ2, K=50)")
+	h.figName = "mmap"
+	dir, err := os.MkdirTemp("", "flexbench-mmap")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flexbench:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	q := mustParse(xq2.query)
+	h.row("MB", "fxp2_load_ms", "fxp3_open_ms", "fxp3_fault_ms", "identical")
+	for _, mb := range h.sizesMB() {
+		d := h.doc(mb)
+		p2 := filepath.Join(dir, fmt.Sprintf("doc-%g.fxp2", mb))
+		p3 := filepath.Join(dir, fmt.Sprintf("doc-%g.fxp3", mb))
+		if err := d.SaveIndexedSnapshotFile(p2); err != nil {
+			fmt.Fprintln(os.Stderr, "flexbench:", err)
+			os.Exit(1)
+		}
+		if err := d.SaveFXP3SnapshotFile(p3); err != nil {
+			fmt.Fprintln(os.Stderr, "flexbench:", err)
+			os.Exit(1)
+		}
+		loadT := h.median(func() {
+			if _, err := flexpath.LoadIndexedSnapshotFile(p2); err != nil {
+				fmt.Fprintln(os.Stderr, "flexbench:", err)
+				os.Exit(1)
+			}
+		})
+		openT := h.median(func() {
+			if _, err := flexpath.ReadFXP3Meta(p3); err != nil {
+				fmt.Fprintln(os.Stderr, "flexbench:", err)
+				os.Exit(1)
+			}
+		})
+		var cold *flexpath.Document
+		faultT := h.median(func() {
+			if cold != nil {
+				cold.Close() //nolint:errcheck
+			}
+			var err error
+			cold, err = flexpath.LoadFXP3SnapshotFile(p3)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "flexbench:", err)
+				os.Exit(1)
+			}
+		})
+		memAns, err := d.Search(q, flexpath.SearchOptions{K: 50, NoCache: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flexbench:", err)
+			os.Exit(1)
+		}
+		coldAns, err := cold.Search(q, flexpath.SearchOptions{K: 50, NoCache: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flexbench:", err)
+			os.Exit(1)
+		}
+		identical := renderDocAnswers(memAns) == renderDocAnswers(coldAns)
+		h.row(mb, ms(loadT), ms(openT), ms(faultT), identical)
+		cold.Close() //nolint:errcheck
+	}
+}
+
 func main() {
-	fig := flag.String("fig", "all", "figure to run: 9..18, cache, plancache, parallel, obs, auto, gate, joins, or all")
+	fig := flag.String("fig", "all", "figure to run: 9..18, cache, plancache, parallel, obs, auto, gate, joins, mmap, or all")
 	full := flag.Bool("full", false, "use the paper's document sizes (1-100 MB); slow")
 	runs := flag.Int("runs", 3, "timed runs per point (median reported)")
 	csv := flag.Bool("csv", false, "CSV output")
@@ -897,6 +968,7 @@ func main() {
 		"auto":      h.figAuto,
 		"gate":      h.figGate,
 		"joins":     h.figJoins,
+		"mmap":      h.figMmap,
 	}
 	switch {
 	case *fig == "all":
@@ -909,13 +981,14 @@ func main() {
 		h.figObs()
 		h.figAuto()
 		h.figJoins()
+		h.figMmap()
 	case named[*fig] != nil:
 		named[*fig]()
 	default:
 		n, err := strconv.Atoi(*fig)
 		if err != nil || figs[n] == nil {
 			fmt.Fprintf(os.Stderr,
-				"flexbench: unknown figure %q (want 9..18, cache, plancache, parallel, obs, auto, gate, joins, or all)\n", *fig)
+				"flexbench: unknown figure %q (want 9..18, cache, plancache, parallel, obs, auto, gate, joins, mmap, or all)\n", *fig)
 			os.Exit(2)
 		}
 		figs[n]()

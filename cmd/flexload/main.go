@@ -297,7 +297,11 @@ func doQuery(client *http.Client, cfg config, q string) string {
 		return err.Error()
 	}
 	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	// A reset mid-body is a failed search, not a success with a short
+	// body; see postBulk.
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return "search response read: " + err.Error()
+	}
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Sprintf("search status %d", resp.StatusCode)
 	}
@@ -342,7 +346,15 @@ func postBulk(client *http.Client, cfg config, body string) (errStr string, back
 		return err.Error(), 0
 	}
 	defer resp.Body.Close()
-	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	// A read error is a transport failure, not a success: a connection
+	// reset mid-body means the server's verdict never arrived, and a
+	// mutation acknowledged on a half-read body would overcount applied
+	// ops. (The status line did arrive, so a 429's backoff hint is still
+	// honored below even when its body was cut off.)
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil && resp.StatusCode != http.StatusTooManyRequests {
+		return "bulk response read: " + err.Error(), 0
+	}
 	if resp.StatusCode == http.StatusTooManyRequests {
 		backoff = 100 * time.Millisecond
 		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 && ra <= 5 {

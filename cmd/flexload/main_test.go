@@ -168,6 +168,49 @@ func TestMutateRetriesOn429(t *testing.T) {
 	}
 }
 
+// A connection killed mid-body must count as a transport error, not a
+// success: the status line arrived but the server's verdict did not.
+// Regression test for postBulk discarding the body read error (a reset
+// mid-response used to count the mutation as applied).
+func TestMidBodyKillIsTransportError(t *testing.T) {
+	kill := func(w http.ResponseWriter, r *http.Request) {
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Error("response writer is not a hijacker")
+			return
+		}
+		conn, buf, err := hj.Hijack()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Declare a long body, send a fragment of it, then drop the
+		// connection: the client's body read fails with an early EOF.
+		buf.WriteString("HTTP/1.1 200 OK\r\nContent-Length: 4096\r\n" + //nolint:errcheck
+			"Content-Type: application/json\r\n\r\n{\"applied\":")
+		buf.Flush() //nolint:errcheck
+		conn.Close()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/admin/bulk", kill)
+	mux.HandleFunc("/search", kill)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	cfg := config{addr: srv.URL, k: 5, timeout: 5 * time.Second}
+	client := &http.Client{Timeout: cfg.timeout}
+	errStr, backoff := postBulk(client, cfg, `{"op":"upsert","name":"x","doc":"<a/>"}`+"\n")
+	if errStr == "" {
+		t.Fatal("connection killed mid-body counted as bulk success")
+	}
+	if backoff != 0 {
+		t.Fatalf("transport error must not ask for a retry backoff, got %v", backoff)
+	}
+	if errStr := doQuery(client, cfg, queries[0]); errStr == "" {
+		t.Fatal("connection killed mid-body counted as search success")
+	}
+}
+
 func TestRunRejectsBadConfig(t *testing.T) {
 	if _, err := run(config{qps: 0}); err == nil {
 		t.Error("qps 0 accepted")

@@ -13,6 +13,11 @@
 // -doc accepts XML files and binary snapshots produced by xmarkgen
 // -snapshot or Document.SaveSnapshot (detected by magic).
 //
+// -save-fxp3 PATH converts the loaded document into an FXP3 snapshot —
+// the mmap-friendly layout flexserve can serve cold — and exits:
+//
+//	flexpath -doc data.xml -save-fxp3 data.fxp3
+//
 // The interactive shell accepts a query per line plus commands:
 //
 //	\k N           set top-K
@@ -64,6 +69,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit answers as JSON")
 	why := flag.Bool("why", false, "explain which relaxations each answer needed")
 	minimize := flag.Bool("minimize", false, "print the minimal equivalent query and exit (no document needed)")
+	saveFXP3 := flag.String("save-fxp3", "", "write the loaded document as an FXP3 snapshot to this path and exit")
 	interactive := flag.Bool("i", false, "interactive query shell")
 	flag.Parse()
 
@@ -80,7 +86,7 @@ func main() {
 		return
 	}
 
-	if *docPath == "" || (*queryStr == "" && !*interactive) {
+	if *docPath == "" || (*queryStr == "" && !*interactive && *saveFXP3 == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -93,6 +99,17 @@ func main() {
 	doc, err := flexpath.LoadAuto(*docPath)
 	dieIf(err)
 	fmt.Fprintf(os.Stderr, "loaded %d elements in %v\n", doc.Nodes(), time.Since(start).Round(time.Millisecond))
+
+	if *saveFXP3 != "" {
+		start = time.Now()
+		dieIf(doc.SaveFXP3SnapshotFile(*saveFXP3))
+		fi, err := os.Stat(*saveFXP3)
+		dieIf(err)
+		fmt.Fprintf(os.Stderr, "wrote %s (%d bytes) in %v\n", *saveFXP3, fi.Size(), time.Since(start).Round(time.Millisecond))
+		if *queryStr == "" && !*interactive {
+			return
+		}
+	}
 
 	s := &session{
 		doc: doc, k: *k, algo: algo, scheme: scheme,

@@ -459,6 +459,10 @@ type statsResponse struct {
 	// Planner aggregates the per-document cost-based planner state
 	// behind the Auto algorithm.
 	Planner flexpath.PlannerStats `json:"planner"`
+	// Residency reports the mmap-backed serving state (resident vs
+	// cold snapshot-backed documents, faults, evictions). Omitted when
+	// no member is snapshot-backed and no residency cap is set.
+	Residency *flexpath.ResidencyStats `json:"residency,omitempty"`
 }
 
 func (h *handler) stats(w http.ResponseWriter, _ *http.Request) {
@@ -467,9 +471,14 @@ func (h *handler) stats(w http.ResponseWriter, _ *http.Request) {
 		Elements:  h.coll.Nodes(),
 		PerDoc:    map[string]int{},
 	}
-	for _, name := range h.docNames() {
-		doc, _ := h.coll.Document(name)
-		resp.PerDoc[name] = doc.Nodes()
+	// Members, not Document-per-name: a stats scrape must not fault
+	// every cold document in (that would defeat the residency cap on
+	// each scrape).
+	for _, m := range h.coll.Members() {
+		resp.PerDoc[m.Name] = m.Nodes
+	}
+	if rs := h.coll.ResidencyStats(); rs.Resident+rs.Cold > 0 || rs.Max > 0 {
+		resp.Residency = &rs
 	}
 	if cs, ok := h.coll.CacheStats(); ok {
 		resp.Cache = &cs
@@ -628,6 +637,20 @@ func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
 		obs.WriteMetric(w, "flexpath_wal_log_segments", "gauge",
 			"Live write-ahead log segment files.", float64(s.LogSegments))
 	}
+
+	rs := h.coll.ResidencyStats()
+	obs.WriteMetric(w, "flexpath_resident_docs", "gauge",
+		"Snapshot-backed documents currently decoded and searchable.", float64(rs.Resident))
+	obs.WriteMetric(w, "flexpath_resident_docs_cold", "gauge",
+		"Snapshot-backed documents currently cold (mapped, not decoded).", float64(rs.Cold))
+	obs.WriteMetric(w, "flexpath_resident_docs_pinned", "gauge",
+		"Documents with no snapshot backing (always resident, exempt from the cap).", float64(rs.Pinned))
+	obs.WriteMetric(w, "flexpath_resident_docs_max", "gauge",
+		"Configured residency cap for snapshot-backed documents (0 = unbounded).", float64(rs.Max))
+	obs.WriteMetric(w, "flexpath_resident_faults_total", "counter",
+		"Cold documents decoded on demand by a search.", float64(rs.Faults))
+	obs.WriteMetric(w, "flexpath_resident_evictions_total", "counter",
+		"Documents evicted by the residency cap (decoded state dropped, mapping kept).", float64(rs.Evictions))
 
 	fmt.Fprintln(w, "# HELP flexpath_documents Documents being served.")
 	fmt.Fprintln(w, "# TYPE flexpath_documents gauge")
@@ -981,12 +1004,14 @@ func (h *handler) applyBulkOp(op bulkOp) error {
 		if op.Op == "replace" {
 			return h.coll.Replace(op.Name, doc)
 		}
-		if _, ok := h.coll.Document(op.Name); ok {
+		// Has, not Document: existence checks must not fault a cold
+		// member in just to overwrite or delete it.
+		if h.coll.Has(op.Name) {
 			return h.coll.Replace(op.Name, doc)
 		}
 		return h.coll.Add(op.Name, doc)
 	case "remove":
-		if _, ok := h.coll.Document(op.Name); !ok {
+		if !h.coll.Has(op.Name) {
 			return nil
 		}
 		return h.coll.Remove(op.Name)

@@ -12,6 +12,7 @@
 //	flexserve -pprof data.xml                        # also expose /debug/pprof/
 //	flexserve -shard -addr :9001                     # empty shard behind flexrouter
 //	flexserve -wal /var/lib/flexpath data.xml        # durable corpus: WAL + checkpoints
+//	flexserve -dir corpus/ -resident-docs 8          # mmap-backed FXP3 corpus, bounded residency
 //
 // Endpoints:
 //
@@ -52,6 +53,11 @@
 // -drain, and exits.
 //
 // Documents may be XML files or binary snapshots (detected by magic).
+// FXP3 snapshots (.fxp3, written by flexpath -save-fxp3) are mmap'd and
+// served cold: a document is decoded only when a search needs it, and
+// -resident-docs bounds how many decoded documents stay hot — evicted
+// documents fall back to their file-backed mapping, so a corpus much
+// larger than RAM serves from whatever working set fits.
 package main
 
 import (
@@ -64,6 +70,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -88,6 +95,7 @@ func main() {
 	walSync := flag.Duration("walsync", 2*time.Millisecond, "WAL group-commit window: how long an acknowledgment may wait so concurrent mutations share one fsync (0 fsyncs every mutation)")
 	ckptEvery := flag.Int("checkpoint-every", 1024, "mutations between automatic WAL checkpoints (negative disables)")
 	maxBulk := flag.Int("maxbulk", 4, "max concurrently executing /admin/bulk requests; excess is rejected with 429 (0 = unlimited)")
+	residentDocs := flag.Int("resident-docs", 0, "max FXP3 snapshot-backed documents decoded at once; least-recently-searched beyond the cap are evicted back to their mmap (0 = unlimited)")
 	flag.Parse()
 
 	// With a WAL, recovery runs before command-line corpus files are
@@ -125,16 +133,46 @@ func main() {
 				seedFile(dur, path)
 			}
 		} else {
-			c, err := flexpath.LoadCollectionDir(*dir)
+			// One pass over the directory: .xml files load eagerly (as
+			// LoadCollectionDir would), .fxp3 snapshots join cold —
+			// mapped and listed, decoded only when a search needs them.
+			entries, err := os.ReadDir(*dir)
 			if err != nil {
 				log.Fatal(err)
 			}
-			coll = c
+			loaded := 0
+			for _, e := range entries {
+				if e.IsDir() {
+					continue
+				}
+				path := filepath.Join(*dir, e.Name())
+				switch ext := filepath.Ext(e.Name()); {
+				case strings.EqualFold(ext, ".xml"):
+					if err := coll.AddFile(path); err != nil {
+						log.Fatal(err)
+					}
+					loaded++
+				case strings.EqualFold(ext, ".fxp3"):
+					if err := coll.AddSnapshotFile(path, path); err != nil {
+						log.Fatal(err)
+					}
+					loaded++
+				}
+			}
+			if loaded == 0 {
+				log.Fatalf("flexserve: no .xml or .fxp3 files in %s", *dir)
+			}
 		}
 	}
 	for _, path := range flag.Args() {
 		if dur != nil {
 			seedFile(dur, path)
+			continue
+		}
+		if strings.EqualFold(filepath.Ext(path), ".fxp3") {
+			if err := coll.AddSnapshotFile(path, path); err != nil {
+				log.Fatal(err)
+			}
 			continue
 		}
 		doc, err := flexpath.LoadAuto(path)
@@ -145,6 +183,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	coll.SetResidency(*residentDocs)
 	if coll.Len() == 0 && !*shard && dur == nil {
 		fmt.Fprintln(os.Stderr, "flexserve: no documents given (use -shard to start empty behind flexrouter, or -wal to serve a durable corpus)")
 		flag.Usage()
@@ -171,8 +210,8 @@ func main() {
 		durable:       dur,
 		maxBulk:       *maxBulk,
 	})
-	log.Printf("serving %d documents (%d elements) on %s (cache=%d, plancache=%d, timeout=%v, slowlog=%d@%dms, pprof=%v, maxinflight=%d, admin=%v, shard=%v, wal=%q)",
-		coll.Len(), coll.Nodes(), *addr, *cache, *planCache, *timeout, *slowCap, *slowMS, *pprofOn, *maxInFlight, *admin || *shard || dur != nil, *shard, *walDir)
+	log.Printf("serving %d documents (%d elements) on %s (cache=%d, plancache=%d, timeout=%v, slowlog=%d@%dms, pprof=%v, maxinflight=%d, admin=%v, shard=%v, wal=%q, resident-docs=%d)",
+		coll.Len(), coll.Nodes(), *addr, *cache, *planCache, *timeout, *slowCap, *slowMS, *pprofOn, *maxInFlight, *admin || *shard || dur != nil, *shard, *walDir, *residentDocs)
 
 	srv := &http.Server{
 		Handler:           h,

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"flexpath/internal/merge"
+	"flexpath/internal/mmapio"
 	"flexpath/internal/obs"
 	"flexpath/internal/qcache"
 )
@@ -29,10 +30,10 @@ import (
 // against that snapshot, so it sees a consistent corpus (never a
 // half-applied mutation) and never blocks behind another search.
 type Collection struct {
-	mu     sync.RWMutex
-	names  []string
-	docs   []*Document
-	byName map[string]int
+	mu      sync.RWMutex
+	names   []string
+	members []*member
+	byName  map[string]int
 	// docCacheCap remembers the last SetDocumentCaches capacity so
 	// documents added or swapped in later get the same cache
 	// configuration as the members present at call time. docCacheSet
@@ -49,6 +50,18 @@ type Collection struct {
 	// qc, when set, caches merged collection-level result sets; see
 	// SetCache. Any membership mutation purges it.
 	qc atomic.Pointer[qcache.Cache]
+
+	// Residency state (see residency.go): maxResident bounds how many
+	// fault-capable members stay decoded, tick is the logical LRU
+	// clock, faults/evictions count residency traffic, evictMu
+	// serializes eviction sweeps, and mappings records every open file
+	// mapping for Close.
+	maxResident atomic.Int64
+	tick        atomic.Int64
+	faults      atomic.Uint64
+	evictions   atomic.Uint64
+	evictMu     sync.Mutex
+	mappings    []*mmapio.Mapping
 }
 
 // NewCollection returns an empty collection.
@@ -62,28 +75,20 @@ func NewCollection() *Collection {
 // cover the whole corpus) and applies the collection's document-cache
 // configuration (SetDocumentCaches) to the new member.
 func (c *Collection) Add(name string, doc *Document) error {
-	c.mu.Lock()
-	if c.byName == nil {
-		c.byName = make(map[string]int)
+	mem := &member{name: name}
+	mem.doc.Store(doc)
+	if err := c.register(name, mem, nil); err != nil {
+		return err
 	}
-	if _, dup := c.byName[name]; dup {
-		c.mu.Unlock()
-		return fmt.Errorf("flexpath: duplicate document name %q", name)
-	}
-	c.byName[name] = len(c.names)
-	c.names = append(c.names, name)
-	c.docs = append(c.docs, doc)
+	c.mu.RLock()
 	cacheSet, cacheCap := c.docCacheSet, c.docCacheCap
 	planSet, planCap := c.planCacheSet, c.planCacheCap
-	c.mu.Unlock()
+	c.mu.RUnlock()
 	if cacheSet {
 		doc.SetCache(cacheCap)
 	}
 	if planSet {
 		doc.SetPlanCache(planCap)
-	}
-	if qc := c.qc.Load(); qc != nil {
-		qc.Purge()
 	}
 	return nil
 }
@@ -100,11 +105,13 @@ func (c *Collection) Remove(name string) error {
 		c.mu.Unlock()
 		return fmt.Errorf("flexpath: no document named %q", name)
 	}
-	old := c.docs[i]
+	old := c.members[i].doc.Load()
 	// In-flight searches are isolated by snapshot()'s copy, so the
-	// slices can be compacted in place under the exclusive lock.
+	// slices can be compacted in place under the exclusive lock. A
+	// removed cold member's mapping stays open (answers already handed
+	// out may alias it) and is released by Close.
 	c.names = append(c.names[:i], c.names[i+1:]...)
-	c.docs = append(c.docs[:i], c.docs[i+1:]...)
+	c.members = append(c.members[:i], c.members[i+1:]...)
 	delete(c.byName, name)
 	for j := i; j < len(c.names); j++ {
 		c.byName[c.names[j]] = j
@@ -113,7 +120,9 @@ func (c *Collection) Remove(name string) error {
 	if qc := c.qc.Load(); qc != nil {
 		qc.Purge()
 	}
-	old.purgeCache()
+	if old != nil {
+		old.purgeCache()
+	}
 	return nil
 }
 
@@ -128,8 +137,12 @@ func (c *Collection) Replace(name string, doc *Document) error {
 		c.mu.Unlock()
 		return fmt.Errorf("flexpath: no document named %q", name)
 	}
-	old := c.docs[i]
-	c.docs[i] = doc
+	old := c.members[i].doc.Load()
+	// The incoming document is pinned even when it replaces a cold
+	// member: Replace hands over a decoded document, not a snapshot.
+	mem := &member{name: name}
+	mem.doc.Store(doc)
+	c.members[i] = mem
 	cacheSet, cacheCap := c.docCacheSet, c.docCacheCap
 	planSet, planCap := c.planCacheSet, c.planCacheCap
 	c.mu.Unlock()
@@ -142,19 +155,52 @@ func (c *Collection) Replace(name string, doc *Document) error {
 	if qc := c.qc.Load(); qc != nil {
 		qc.Purge()
 	}
-	old.purgeCache()
+	if old != nil {
+		old.purgeCache()
+	}
 	return nil
 }
 
 // snapshot returns a consistent view of the membership for one search.
 // The returned slices are private copies, so the holder is isolated from
 // later mutations (which compact or rewrite the originals in place).
-func (c *Collection) snapshot() (names []string, docs []*Document) {
+func (c *Collection) snapshot() (names []string, members []*member) {
 	c.mu.RLock()
 	names = append([]string(nil), c.names...)
-	docs = append([]*Document(nil), c.docs...)
+	members = append([]*member(nil), c.members...)
 	c.mu.RUnlock()
-	return names, docs
+	return names, members
+}
+
+// snapshotResolved is snapshot with every member resolved to its
+// document, faulting cold members in. Checkpointing uses it: a
+// checkpoint must serialize the whole corpus, cold or not.
+func (c *Collection) snapshotResolved() ([]string, []*Document, error) {
+	names, members := c.snapshot()
+	docs := make([]*Document, len(members))
+	for i, m := range members {
+		d, err := c.require(m)
+		if err != nil {
+			return nil, nil, fmt.Errorf("flexpath: document %q: %w", names[i], err)
+		}
+		docs[i] = d
+	}
+	return names, docs, nil
+}
+
+// residentDocs returns the currently decoded member documents, the set
+// cache configuration and statistics aggregation walk: cold members
+// have no caches or planner state, and walking them must not fault
+// them in.
+func (c *Collection) residentDocs() []*Document {
+	_, members := c.snapshot()
+	docs := make([]*Document, 0, len(members))
+	for _, m := range members {
+		if d := m.doc.Load(); d != nil {
+			docs = append(docs, d)
+		}
+	}
+	return docs
 }
 
 // AddFile loads and adds the XML document at path, named by the path.
@@ -170,15 +216,17 @@ func (c *Collection) AddFile(path string) error {
 func (c *Collection) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return len(c.docs)
+	return len(c.members)
 }
 
 // Nodes returns the total number of element nodes across all documents.
+// Cold members report from their snapshot's meta section; counting
+// never faults a document in.
 func (c *Collection) Nodes() int {
-	_, docs := c.snapshot()
+	_, members := c.snapshot()
 	total := 0
-	for _, d := range docs {
-		total += d.Nodes()
+	for _, m := range members {
+		total += m.nodes()
 	}
 	return total
 }
@@ -189,14 +237,33 @@ func (c *Collection) Names() []string {
 	return names
 }
 
-// Document returns the named document, if present.
-func (c *Collection) Document(name string) (*Document, bool) {
+// Has reports whether a document with the given name is a member,
+// without faulting it in.
+func (c *Collection) Has(name string) bool {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	_, ok := c.byName[name]
+	return ok
+}
+
+// Document returns the named document, if present, faulting it in when
+// cold (a failed fault reports absent). Callers that only need
+// metadata should use Members, which never faults.
+func (c *Collection) Document(name string) (*Document, bool) {
+	c.mu.RLock()
+	var mem *member
 	if i, ok := c.byName[name]; ok {
-		return c.docs[i], true
+		mem = c.members[i]
 	}
-	return nil, false
+	c.mu.RUnlock()
+	if mem == nil {
+		return nil, false
+	}
+	d, err := c.require(mem)
+	if err != nil {
+		return nil, false
+	}
+	return d, true
 }
 
 // SetCache enables a collection-level cache of merged top-K rankings
@@ -221,9 +288,10 @@ func (c *Collection) SetDocumentCaches(capacity int) {
 	c.mu.Lock()
 	c.docCacheCap = capacity
 	c.docCacheSet = true
-	docs := append([]*Document(nil), c.docs...)
 	c.mu.Unlock()
-	for _, d := range docs {
+	// Resident documents are reconfigured now; cold ones pick the
+	// remembered capacity up at fault-in.
+	for _, d := range c.residentDocs() {
 		d.SetCache(capacity)
 	}
 }
@@ -237,9 +305,8 @@ func (c *Collection) SetPlanCaches(capacity int) {
 	c.mu.Lock()
 	c.planCacheCap = capacity
 	c.planCacheSet = true
-	docs := append([]*Document(nil), c.docs...)
 	c.mu.Unlock()
-	for _, d := range docs {
+	for _, d := range c.residentDocs() {
 		d.SetPlanCache(capacity)
 	}
 }
@@ -249,8 +316,7 @@ func (c *Collection) SetPlanCaches(capacity int) {
 func (c *Collection) PlanCacheStats() (s PlanCacheStats, ok bool) {
 	var sum PlanCacheStats
 	any := false
-	_, docs := c.snapshot()
-	for _, d := range docs {
+	for _, d := range c.residentDocs() {
 		if ds, dok := d.PlanCacheStats(); dok {
 			sum.add(ds)
 			any = true
@@ -274,8 +340,7 @@ func (c *Collection) CacheStats() (s CacheStats, ok bool) {
 func (c *Collection) DocumentCacheStats() (s CacheStats, ok bool) {
 	var sum CacheStats
 	any := false
-	_, docs := c.snapshot()
-	for _, d := range docs {
+	for _, d := range c.residentDocs() {
 		if ds, dok := d.CacheStats(); dok {
 			sum.add(ds)
 			any = true
@@ -349,12 +414,21 @@ func (c *Collection) SearchContext(ctx context.Context, q *Query, opts SearchOpt
 	// One consistent membership view for the whole search: a concurrent
 	// Add/Remove/Replace neither blocks behind this search nor changes
 	// which documents it evaluates.
-	names, docs := c.snapshot()
+	names, members := c.snapshot()
 
-	perDoc := make([][]Answer, len(docs))
-	perErr := make([]error, len(docs))
-	perMet := make([]Metrics, len(docs))
+	perDoc := make([][]Answer, len(members))
+	perErr := make([]error, len(members))
+	perMet := make([]Metrics, len(members))
 	runDoc := func(i int) {
+		// Fault the member in if it is cold; the returned document stays
+		// valid for this search even if the residency cap evicts the
+		// member before the search finishes (eviction drops the
+		// member's pointer, not the document or its mapping).
+		d, err := c.require(members[i])
+		if err != nil {
+			perErr[i] = err
+			return
+		}
 		sub := opts
 		// Pagination is a property of the merged global ranking, not of
 		// any member document's ranking: each document must contribute
@@ -367,18 +441,18 @@ func (c *Collection) SearchContext(ctx context.Context, q *Query, opts SearchOpt
 		if opts.Metrics != nil {
 			sub.Metrics = &perMet[i]
 		}
-		perDoc[i], perErr[i] = docs[i].SearchContext(ctx, q, sub)
+		perDoc[i], perErr[i] = d.SearchContext(ctx, q, sub)
 	}
 
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(docs) {
-		workers = len(docs)
+	if workers > len(members) {
+		workers = len(members)
 	}
 	if workers <= 1 {
-		for i := range docs {
+		for i := range members {
 			runDoc(i)
 		}
 	} else {
@@ -390,7 +464,7 @@ func (c *Collection) SearchContext(ctx context.Context, q *Query, opts SearchOpt
 				defer wg.Done()
 				for {
 					i := int(next.Add(1)) - 1
-					if i >= len(docs) {
+					if i >= len(members) {
 						return
 					}
 					runDoc(i)
@@ -407,7 +481,7 @@ func (c *Collection) SearchContext(ctx context.Context, q *Query, opts SearchOpt
 		tMerge = time.Now()
 	}
 	var all []CollectionAnswer
-	for i := range docs {
+	for i := range members {
 		if perErr[i] != nil {
 			return nil, fmt.Errorf("flexpath: document %q: %w", names[i], perErr[i])
 		}
@@ -489,8 +563,7 @@ func (c *Collection) PlannerStats() PlannerStats {
 	nsN := map[string]int{}
 	errN := map[string]int{}
 	restartN := 0
-	_, docs := c.snapshot()
-	for _, d := range docs {
+	for _, d := range c.residentDocs() {
 		s := d.PlannerStats()
 		for k, v := range s.Choices {
 			agg.Choices[k] += v

@@ -334,7 +334,12 @@ func (dc *DurableCollection) maybeCheckpointLocked() {
 		dc.ckptMu.Unlock()
 		return
 	}
-	names, docs := dc.c.snapshot()
+	names, docs, err := dc.c.snapshotResolved()
+	if err != nil {
+		dc.ckptErrs.Add(1)
+		dc.ckptMu.Unlock()
+		return
+	}
 	dc.wg.Add(1)
 	go func() {
 		defer dc.wg.Done()
@@ -356,8 +361,12 @@ func (dc *DurableCollection) Checkpoint() error {
 		dc.ckptErrs.Add(1)
 		return err
 	}
-	names, docs := dc.c.snapshot()
+	names, docs, err := dc.c.snapshotResolved()
 	dc.mu.Unlock()
+	if err != nil {
+		dc.ckptErrs.Add(1)
+		return err
+	}
 	return dc.writeCheckpoint(lastLSN, names, docs)
 }
 

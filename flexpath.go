@@ -40,6 +40,7 @@ import (
 	"flexpath/internal/core"
 	"flexpath/internal/exec"
 	"flexpath/internal/ir"
+	"flexpath/internal/mmapio"
 	"flexpath/internal/obs"
 	"flexpath/internal/plancache"
 	"flexpath/internal/planner"
@@ -250,6 +251,12 @@ type Document struct {
 	// qc, when set, caches finished top-K result sets keyed by the
 	// normalized query and search options; see SetCache.
 	qc atomic.Pointer[qcache.Cache]
+
+	// mp, when the document was loaded from an mmap'd FXP3 snapshot,
+	// is the file mapping the document's columns and strings alias.
+	// It must stay open while the document (or anything derived from
+	// it — answers, snippets) is reachable; Close releases it.
+	mp *mmapio.Mapping
 }
 
 // Load parses an XML document from r and builds its indexes.
@@ -302,14 +309,19 @@ func LoadSnapshot(r io.Reader) (*Document, error) {
 	return NewDocument(t), nil
 }
 
-// LoadSnapshotFile restores a document from a snapshot file.
+// LoadSnapshotFile restores a document from a snapshot file. Load
+// errors name the file.
 func LoadSnapshotFile(path string) (*Document, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return LoadSnapshot(f)
+	d, err := LoadSnapshot(f)
+	if err != nil {
+		return nil, wrapSnapshotPath(path, err)
+	}
+	return d, nil
 }
 
 // LoadAuto loads path as a plain or indexed binary snapshot when it
@@ -338,6 +350,9 @@ func LoadAuto(path string) (*Document, error) {
 		return LoadSnapshot(f)
 	case n == 4 && string(magic[:]) == "FXP2":
 		return LoadIndexedSnapshot(f)
+	case n == 4 && string(magic[:]) == "FXP3":
+		// Reopen via the mmap path so the document serves file-backed.
+		return LoadFXP3SnapshotFile(path)
 	}
 	return Load(f)
 }

@@ -111,6 +111,9 @@ func (ix *Index) termScore(term string, node xmltree.NodeID, tf int) float64 {
 // Doc returns the indexed document.
 func (ix *Index) Doc() *xmltree.Document { return ix.doc }
 
+// IsBM25 reports whether the index uses BM25 term weighting.
+func (ix *Index) IsBM25() bool { return ix.scoring == ScoringBM25 }
+
 // Result is the outcome of evaluating a full-text expression: the most
 // specific elements satisfying it (in document order) with scores
 // normalized to [0, 1]. A context node satisfies the expression iff its

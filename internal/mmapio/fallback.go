@@ -1,0 +1,16 @@
+package mmapio
+
+import (
+	"io"
+	"os"
+)
+
+// openFallback reads the file into the heap — the portable path, and the
+// escape hatch when a filesystem refuses mmap.
+func openFallback(f *os.File, size int) (*Mapping, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, err
+	}
+	return &Mapping{data: data}, nil
+}

@@ -1,0 +1,23 @@
+//go:build unix
+
+package mmapio
+
+import (
+	"os"
+	"syscall"
+)
+
+// open maps size bytes of f read-only. The mapping is MAP_SHARED, so the
+// pages are the page cache's own: no second copy exists, and clean pages
+// can be evicted and re-read from the file under memory pressure.
+func open(f *os.File, size int) (*Mapping, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Some filesystems (or exotic mounts) refuse mmap; serving still
+		// works from a heap copy, just without page-cache residency.
+		return openFallback(f, size)
+	}
+	return &Mapping{data: data, mapped: true}, nil
+}
+
+func unmap(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,235 @@
+package xmltree
+
+import (
+	"fmt"
+
+	"flexpath/internal/fxp3"
+)
+
+// Columnar (FXP3) persistence for the node table. Unlike the varint
+// stream of WriteBinary/ReadBinary, the columnar form is written as
+// fixed-width, 8-byte-aligned columns that DecodeColumnar can view in
+// place over an mmap'd snapshot: the interval-encoding columns (tag,
+// end, level, parent) and the per-tag node lists alias the snapshot
+// bytes directly, and the text, tag and attribute strings are interned
+// over shared blobs without copying the character data. The heap cost of
+// a decoded document is therefore the string/slice headers and the tag
+// map — the bulk (text bytes, node columns, postings) stays file-backed
+// and reclaimable by the kernel.
+//
+// Payload layout (fxp3.Enc framing):
+//
+//	u64 numTags, u64 numNodes, u64 numAttrs, u64 sourceBytes
+//	col tagOff  [numTags+1]u64   offsets into tagBlob
+//	col tagBlob
+//	col nodeTag [numNodes]i32
+//	col end     [numNodes]i32
+//	col level   [numNodes]i32
+//	col parent  [numNodes]i32
+//	col textOff [numNodes+1]u64  offsets into textBlob
+//	col textBlob
+//	col attrCnt [numNodes+1]u64  prefix attribute counts
+//	col attrOff [2*numAttrs+1]u64 offsets into attrBlob (name,value interleaved)
+//	col attrBlob
+//	col byTagOff[numTags+1]u64   prefix counts into byTagIDs
+//	col byTagIDs[numNodes]i32    node lists grouped by tag, document order
+
+// EncodeColumnar renders the document as an FXP3 tree-section payload.
+func (d *Document) EncodeColumnar() []byte {
+	e := &fxp3.Enc{}
+	numAttrs := 0
+	for _, as := range d.attrs {
+		numAttrs += len(as)
+	}
+	e.U64(uint64(len(d.tags)))
+	e.U64(uint64(len(d.nodeTag)))
+	e.U64(uint64(numAttrs))
+	e.U64(uint64(d.size))
+
+	tagOff := make([]uint64, 0, len(d.tags)+1)
+	var tagBlob []byte
+	tagOff = append(tagOff, 0)
+	for _, t := range d.tags {
+		tagBlob = append(tagBlob, t...)
+		tagOff = append(tagOff, uint64(len(tagBlob)))
+	}
+	fxp3.ColU64(e, tagOff)
+	e.Col(tagBlob)
+
+	fxp3.ColI32(e, d.nodeTag)
+	fxp3.ColI32(e, d.end)
+	fxp3.ColI32(e, d.level)
+	fxp3.ColI32(e, d.parent)
+
+	textOff := make([]uint64, 0, len(d.text)+1)
+	textOff = append(textOff, 0)
+	blobLen := 0
+	for _, t := range d.text {
+		blobLen += len(t)
+		textOff = append(textOff, uint64(blobLen))
+	}
+	textBlob := make([]byte, 0, blobLen)
+	for _, t := range d.text {
+		textBlob = append(textBlob, t...)
+	}
+	fxp3.ColU64(e, textOff)
+	e.Col(textBlob)
+
+	attrCnt := make([]uint64, 0, len(d.attrs)+1)
+	attrCnt = append(attrCnt, 0)
+	attrOff := make([]uint64, 0, 2*numAttrs+1)
+	attrOff = append(attrOff, 0)
+	var attrBlob []byte
+	for _, as := range d.attrs {
+		attrCnt = append(attrCnt, attrCnt[len(attrCnt)-1]+uint64(len(as)))
+		for _, a := range as {
+			attrBlob = append(attrBlob, a.Name...)
+			attrOff = append(attrOff, uint64(len(attrBlob)))
+			attrBlob = append(attrBlob, a.Value...)
+			attrOff = append(attrOff, uint64(len(attrBlob)))
+		}
+	}
+	fxp3.ColU64(e, attrCnt)
+	fxp3.ColU64(e, attrOff)
+	e.Col(attrBlob)
+
+	byTagOff := make([]uint64, 0, len(d.tags)+1)
+	byTagOff = append(byTagOff, 0)
+	byTagIDs := make([]NodeID, 0, len(d.nodeTag))
+	for t := range d.tags {
+		byTagIDs = append(byTagIDs, d.byTag[t]...)
+		byTagOff = append(byTagOff, uint64(len(byTagIDs)))
+	}
+	fxp3.ColU64(e, byTagOff)
+	fxp3.ColI32(e, byTagIDs)
+	return e.Finish()
+}
+
+// DecodeColumnar restores a document from an EncodeColumnar payload,
+// aliasing the payload's columns and string bytes in place. The caller
+// must keep the payload's backing memory (typically an mmap) alive for
+// the life of the document and everything derived from it.
+func DecodeColumnar(payload []byte) (*Document, error) {
+	dec := fxp3.NewDec(payload)
+	numTags := int(dec.U64())
+	numNodes := int(dec.U64())
+	numAttrs := int(dec.U64())
+	size := dec.U64()
+	if err := dec.Err(); err != nil {
+		return nil, fmt.Errorf("xmltree: snapshot: %w", err)
+	}
+	if numTags > maxBinaryCount || numNodes > maxBinaryCount || numAttrs > maxBinaryCount {
+		return nil, fmt.Errorf("xmltree: snapshot: implausible counts (%d tags, %d nodes, %d attrs)",
+			numTags, numNodes, numAttrs)
+	}
+
+	tagOff := fxp3.ViewU64[uint64](dec, numTags+1)
+	tagBlob := dec.Col()
+	nodeTag := fxp3.ViewI32[TagID](dec, numNodes)
+	end := fxp3.ViewI32[NodeID](dec, numNodes)
+	level := fxp3.ViewI32[int32](dec, numNodes)
+	parent := fxp3.ViewI32[NodeID](dec, numNodes)
+	textOff := fxp3.ViewU64[uint64](dec, numNodes+1)
+	textBlob := dec.Col()
+	attrCnt := fxp3.ViewU64[uint64](dec, numNodes+1)
+	attrOff := fxp3.ViewU64[uint64](dec, 2*numAttrs+1)
+	attrBlob := dec.Col()
+	byTagOff := fxp3.ViewU64[uint64](dec, numTags+1)
+	byTagIDs := fxp3.ViewI32[NodeID](dec, numNodes)
+	if err := dec.Err(); err != nil {
+		return nil, fmt.Errorf("xmltree: snapshot: %w", err)
+	}
+
+	d := &Document{
+		tags:    make([]string, numTags),
+		tagIDs:  make(map[string]TagID, numTags),
+		nodeTag: nodeTag,
+		end:     end,
+		level:   level,
+		parent:  parent,
+		size:    int64(size),
+	}
+	var ok bool
+	for i := range d.tags {
+		if d.tags[i], ok = interned(tagBlob, tagOff, i); !ok {
+			return nil, fmt.Errorf("xmltree: snapshot: tag table offsets out of range")
+		}
+		d.tagIDs[d.tags[i]] = TagID(i)
+	}
+
+	// The same structural invariants ReadBinary enforces: out-of-range
+	// values would index out of bounds at query time.
+	for n := 0; n < numNodes; n++ {
+		if t := int(nodeTag[n]); t < 0 || t >= numTags {
+			return nil, fmt.Errorf("xmltree: snapshot: node %d has invalid tag %d", n, t)
+		}
+		if e := int(end[n]); e < n || e >= numNodes {
+			return nil, fmt.Errorf("xmltree: snapshot: node %d has invalid interval end %d", n, e)
+		}
+		if p := int(parent[n]); p >= n || (p < 0 && !(n == 0 && p == -1)) {
+			return nil, fmt.Errorf("xmltree: snapshot: node %d has invalid parent %d", n, p)
+		}
+	}
+
+	d.text = make([]string, numNodes)
+	for n := 0; n < numNodes; n++ {
+		if d.text[n], ok = interned(textBlob, textOff, n); !ok {
+			return nil, fmt.Errorf("xmltree: snapshot: text offsets out of range")
+		}
+	}
+
+	d.attrs = make([][]Attr, numNodes)
+	if numAttrs > 0 {
+		flat := make([]Attr, numAttrs)
+		for i := range flat {
+			if flat[i].Name, ok = interned(attrBlob, attrOff, 2*i); !ok {
+				return nil, fmt.Errorf("xmltree: snapshot: attribute offsets out of range")
+			}
+			if flat[i].Value, ok = interned(attrBlob, attrOff, 2*i+1); !ok {
+				return nil, fmt.Errorf("xmltree: snapshot: attribute offsets out of range")
+			}
+		}
+		for n := 0; n < numNodes; n++ {
+			lo, hi := attrCnt[n], attrCnt[n+1]
+			if lo > hi || hi > uint64(numAttrs) {
+				return nil, fmt.Errorf("xmltree: snapshot: attribute counts out of range")
+			}
+			if lo < hi {
+				d.attrs[n] = flat[lo:hi:hi]
+			}
+		}
+	} else {
+		// attrCnt must still be monotone-zero; no per-node slices needed.
+		if attrCnt[numNodes] != 0 {
+			return nil, fmt.Errorf("xmltree: snapshot: attribute counts out of range")
+		}
+	}
+
+	for _, n := range byTagIDs {
+		if n < 0 || int(n) >= numNodes {
+			return nil, fmt.Errorf("xmltree: snapshot: per-tag node %d out of range", n)
+		}
+	}
+	d.byTag = make([][]NodeID, numTags)
+	for t := 0; t < numTags; t++ {
+		lo, hi := byTagOff[t], byTagOff[t+1]
+		if lo > hi || hi > uint64(numNodes) {
+			return nil, fmt.Errorf("xmltree: snapshot: per-tag node lists out of range")
+		}
+		if lo < hi {
+			d.byTag[t] = byTagIDs[lo:hi:hi]
+		}
+	}
+	return d, nil
+}
+
+// interned returns element i of a blob-backed string table, aliasing the
+// blob's bytes.
+func interned(blob []byte, off []uint64, i int) (string, bool) {
+	lo, hi := off[i], off[i+1]
+	if lo > hi || hi > uint64(len(blob)) {
+		return "", false
+	}
+	s, ok := fxp3.String(blob, lo, hi-lo)
+	return s, ok
+}

@@ -25,7 +25,22 @@ import (
 //
 // Container layout: magic "FXP2", then three length-prefixed sections
 // (tree, statistics, index), each in its own self-describing format.
+// The mmap-friendly successor format is FXP3; see snapshot_fxp3.go.
 var indexedMagic = [4]byte{'F', 'X', 'P', '2'}
+
+// ErrCorruptSnapshot reports a snapshot that is structurally invalid,
+// truncated, or checksum-failing. Every load path (FXP2 and FXP3) wraps
+// corruption in it, so callers can distinguish a damaged file from an
+// I/O failure with errors.Is and react (quarantine, fall back to XML,
+// refuse to serve) without string matching. A snapshot that fails with
+// ErrCorruptSnapshot was not partially loaded: no Document is returned.
+var ErrCorruptSnapshot = errors.New("flexpath: corrupt snapshot")
+
+// maxSectionBytes caps a section's declared length when the total input
+// size is unknown (stream loads). Any genuine section is far smaller; a
+// larger declaration can only come from corruption, and rejecting it up
+// front keeps a corrupt length field from driving unbounded buffering.
+const maxSectionBytes = int64(1) << 40
 
 // SaveIndexedSnapshot writes a snapshot including the search indexes.
 func (d *Document) SaveIndexedSnapshot(w io.Writer) error {
@@ -65,53 +80,116 @@ func (d *Document) SaveIndexedSnapshotFile(path string) error {
 }
 
 // LoadIndexedSnapshot restores a document with its indexes from a
-// SaveIndexedSnapshot stream.
+// SaveIndexedSnapshot stream. Corrupt or truncated input fails with an
+// error wrapping ErrCorruptSnapshot; a partial index is never returned.
 func LoadIndexedSnapshot(r io.Reader) (*Document, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
+	return loadIndexedSnapshot(r, -1)
+}
+
+// countingReader counts bytes consumed from the underlying reader, so
+// section lengths can be validated against the input size when known.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// loadIndexedSnapshot does the work of LoadIndexedSnapshot. total is the
+// input's byte size when known (file loads), or -1 for streams; with it,
+// a section length exceeding the remaining input is rejected before any
+// parsing, not discovered as a confusing EOF deep inside a section.
+func loadIndexedSnapshot(r io.Reader, total int64) (*Document, error) {
+	cr := &countingReader{r: r}
+	br := bufio.NewReaderSize(cr, 1<<16)
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: shorter than the magic", ErrCorruptSnapshot)
+		}
 		return nil, fmt.Errorf("flexpath: snapshot: %w", err)
 	}
 	if magic != indexedMagic {
-		return nil, errors.New("flexpath: not an indexed snapshot (bad magic)")
+		return nil, fmt.Errorf("%w: not an indexed snapshot (bad magic)", ErrCorruptSnapshot)
 	}
-	section := func() (*io.LimitedReader, error) {
+	section := func(name string) (*io.LimitedReader, error) {
 		n, err := binary.ReadUvarint(br)
 		if err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil, fmt.Errorf("%w: truncated before the %s section", ErrCorruptSnapshot, name)
+			}
 			return nil, fmt.Errorf("flexpath: snapshot: %w", err)
+		}
+		// Position of the section body in the input: bytes consumed from
+		// the source minus what the buffer still holds.
+		pos := cr.n - int64(br.Buffered())
+		if n > uint64(maxSectionBytes) {
+			return nil, fmt.Errorf("%w: %s section declares an implausible %d bytes", ErrCorruptSnapshot, name, n)
+		}
+		if total >= 0 && int64(n) > total-pos {
+			return nil, fmt.Errorf("%w: %s section declares %d bytes with only %d remaining",
+				ErrCorruptSnapshot, name, n, total-pos)
 		}
 		return &io.LimitedReader{R: br, N: int64(n)}, nil
 	}
-	sec, err := section()
+	// drain consumes any bytes a section parser left unread (the parsers
+	// buffer internally and may stop short of the section boundary) and
+	// verifies the input actually contained the declared section length:
+	// io.Copy returns nil at EOF, so without the N check a truncated
+	// section whose parser happened to finish early would load silently.
+	drain := func(name string, sec *io.LimitedReader) error {
+		if _, err := io.Copy(io.Discard, sec); err != nil {
+			return fmt.Errorf("flexpath: snapshot: %s section: %w", name, err)
+		}
+		if sec.N > 0 {
+			return fmt.Errorf("%w: %s section truncated (%d declared bytes missing)",
+				ErrCorruptSnapshot, name, sec.N)
+		}
+		return nil
+	}
+	sec, err := section("tree")
 	if err != nil {
 		return nil, err
 	}
 	tree, err := xmltree.ReadBinary(sec)
 	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCorruptSnapshot, err)
+	}
+	if err := drain("tree", sec); err != nil {
 		return nil, err
 	}
-	if err := drain(sec); err != nil {
-		return nil, err
-	}
-	sec, err = section()
+	sec, err = section("stats")
 	if err != nil {
 		return nil, err
 	}
 	st, err := stats.ReadStatsBinary(tree, sec)
 	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCorruptSnapshot, err)
+	}
+	if err := drain("stats", sec); err != nil {
 		return nil, err
 	}
-	if err := drain(sec); err != nil {
-		return nil, err
-	}
-	sec, err = section()
+	sec, err = section("index")
 	if err != nil {
 		return nil, err
 	}
 	ix, err := ir.ReadIndexBinary(tree, sec)
 	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCorruptSnapshot, err)
+	}
+	if err := drain("index", sec); err != nil {
 		return nil, err
 	}
+	return assembleDocument(tree, st, ix), nil
+}
+
+// assembleDocument wires restored tree/stats/index into a searchable
+// Document, the shared tail of every snapshot load path.
+func assembleDocument(tree *xmltree.Document, st *stats.Stats, ix *ir.Index) *Document {
 	est := stats.NewEstimator(st, ix)
 	d := &Document{
 		tree:  tree,
@@ -122,22 +200,34 @@ func LoadIndexedSnapshot(r io.Reader) (*Document, error) {
 		ev:    exec.NewEvaluator(tree, ix),
 	}
 	d.pc.Store(plancache.New(DefaultPlanCacheCapacity))
-	return d, nil
+	return d
 }
 
-// drain consumes any bytes a section reader left unread (the section
-// parsers buffer internally and may stop short of the section boundary).
-func drain(r *io.LimitedReader) error {
-	_, err := io.Copy(io.Discard, r)
-	return err
+// wrapSnapshotPath adds the file path to a snapshot load error, so a
+// failure during a multi-snapshot collection load names the file that
+// broke instead of leaving the operator to bisect the directory.
+func wrapSnapshotPath(path string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("flexpath: snapshot %s: %w", path, err)
 }
 
-// LoadIndexedSnapshotFile restores an indexed snapshot from path.
+// LoadIndexedSnapshotFile restores an indexed snapshot from path. Load
+// errors name the file.
 func LoadIndexedSnapshotFile(path string) (*Document, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return LoadIndexedSnapshot(f)
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, wrapSnapshotPath(path, err)
+	}
+	d, err := loadIndexedSnapshot(f, fi.Size())
+	if err != nil {
+		return nil, wrapSnapshotPath(path, err)
+	}
+	return d, nil
 }

@@ -1,0 +1,226 @@
+package flexpath
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fxp3Bytes(t *testing.T, doc *Document) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := doc.SaveFXP3Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// sameRanking fails the test unless two rankings agree answer for
+// answer, including scores and relaxation counts.
+func sameRanking(t *testing.T, a, b []Answer) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("answers %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Path != b[i].Path || a[i].ID != b[i].ID ||
+			a[i].Structural != b[i].Structural || a[i].Keyword != b[i].Keyword ||
+			a[i].Relaxations != b[i].Relaxations {
+			t.Errorf("answer %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFXP3SnapshotRoundTrip(t *testing.T) {
+	doc, err := LoadString(articlesXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadFXP3Snapshot(bytes.NewReader(fxp3Bytes(t, doc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Nodes() != doc.Nodes() {
+		t.Fatalf("nodes %d != %d", restored.Nodes(), doc.Nodes())
+	}
+	q := MustParseQuery(paperQ1)
+	a, err := doc.Search(q, SearchOptions{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := restored.Search(q, SearchOptions{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRanking(t, a, b)
+	// Snippets read text through the restored tree's columns.
+	for i := range a {
+		if a[i].Snippet(40) != b[i].Snippet(40) {
+			t.Errorf("snippet %d differs: %q vs %q", i, a[i].Snippet(40), b[i].Snippet(40))
+		}
+	}
+	// Relaxation chains (penalties need stats + index) agree too.
+	sa, err := doc.Relaxations(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := restored.Relaxations(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sa) != len(sb) {
+		t.Fatalf("chains differ in length: %d vs %d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i].Description != sb[i].Description || sa[i].Penalty != sb[i].Penalty {
+			t.Errorf("chain step %d differs: %+v vs %+v", i, sa[i], sb[i])
+		}
+	}
+}
+
+func TestFXP3FileMetaAndAuto(t *testing.T) {
+	doc, err := LoadString(articlesXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "doc.fxp3")
+	if err := doc.SaveFXP3SnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	meta, err := ReadFXP3Meta(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Nodes != doc.Nodes() || meta.BM25 {
+		t.Fatalf("meta %+v, want %d nodes, tf-idf", meta, doc.Nodes())
+	}
+	if meta.SourceBytes <= 0 || meta.Tags <= 0 {
+		t.Fatalf("meta %+v missing source size or tag count", meta)
+	}
+
+	// LoadAuto detects the FXP3 magic and takes the mmap path.
+	auto, err := LoadAuto(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer auto.Close() //nolint:errcheck
+	q := MustParseQuery(paperQ1)
+	a, _ := doc.Search(q, SearchOptions{K: 3})
+	b, _ := auto.Search(q, SearchOptions{K: 3})
+	sameRanking(t, a, b)
+
+	// Close is idempotent, and a no-op for documents without a mapping.
+	if err := auto.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := doc.Close(); err != nil {
+		t.Fatalf("Close on unmapped document: %v", err)
+	}
+
+	if _, err := LoadFXP3SnapshotFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := ReadFXP3Meta(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted by ReadFXP3Meta")
+	}
+}
+
+func TestFXP3BM25Preserved(t *testing.T) {
+	doc, err := LoadWithOptions(strings.NewReader(articlesXML), DocumentOptions{BM25: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "doc.fxp3")
+	if err := doc.SaveFXP3SnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := ReadFXP3Meta(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.BM25 {
+		t.Fatal("meta lost the BM25 flag")
+	}
+	restored, err := LoadFXP3SnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close() //nolint:errcheck
+	q := MustParseQuery(paperQ1)
+	a, _ := doc.Search(q, SearchOptions{K: 3, Scheme: KeywordFirst})
+	b, _ := restored.Search(q, SearchOptions{K: 3, Scheme: KeywordFirst})
+	for i := range a {
+		if a[i].Keyword != b[i].Keyword {
+			t.Errorf("BM25 scores drifted after restore: %f vs %f", a[i].Keyword, b[i].Keyword)
+		}
+	}
+}
+
+// TestFXP3RejectsTruncationAtEveryOffset cuts a valid FXP3 snapshot at
+// every possible length: no prefix may load. (The section directory
+// covers the whole payload and each section is checksummed, so any cut
+// lands in a failed directory check, a missing section or a checksum
+// mismatch.)
+func TestFXP3RejectsTruncationAtEveryOffset(t *testing.T) {
+	doc, err := LoadString(articlesXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := fxp3Bytes(t, doc)
+	for n := 0; n < len(data); n++ {
+		if _, err := LoadFXP3Snapshot(bytes.NewReader(data[:n])); err == nil {
+			t.Fatalf("truncation to %d/%d bytes loaded", n, len(data))
+		} else if !errors.Is(err, ErrCorruptSnapshot) {
+			t.Fatalf("truncation to %d bytes: err = %v, want ErrCorruptSnapshot", n, err)
+		}
+	}
+}
+
+func TestFXP3RejectsBitFlips(t *testing.T) {
+	doc, err := LoadString(articlesXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := fxp3Bytes(t, doc)
+	// Flipping any single bit must be caught: header and directory by
+	// Parse, payloads by the per-section checksum. Sampling every 97th
+	// byte keeps the test fast while walking all regions of the file.
+	for off := 0; off < len(data); off += 97 {
+		b := bytes.Clone(data)
+		b[off] ^= 0x10
+		if _, err := LoadFXP3Snapshot(bytes.NewReader(b)); err == nil {
+			t.Fatalf("bit flip at offset %d loaded", off)
+		} else if !errors.Is(err, ErrCorruptSnapshot) {
+			t.Fatalf("bit flip at offset %d: err = %v, want ErrCorruptSnapshot", off, err)
+		}
+	}
+}
+
+func TestFXP3FileErrorsNameTheFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "broken.fxp3")
+	if err := os.WriteFile(path, []byte("FXP3 but then garbage follows"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, load := range []func() error{
+		func() error { _, err := LoadFXP3SnapshotFile(path); return err },
+		func() error { _, err := ReadFXP3Meta(path); return err },
+		func() error { _, err := LoadAuto(path); return err },
+		func() error { return NewCollection().AddSnapshotFile("broken", path) },
+	} {
+		err := load()
+		if err == nil {
+			t.Fatal("garbage FXP3 file accepted")
+		}
+		if !errors.Is(err, ErrCorruptSnapshot) {
+			t.Errorf("err = %v, want ErrCorruptSnapshot", err)
+		}
+		if !strings.Contains(err.Error(), "broken.fxp3") {
+			t.Errorf("error does not name the file: %v", err)
+		}
+	}
+}

@@ -171,6 +171,78 @@ func TestIndexedSnapshotRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestIndexedSnapshotRejectsTruncationAtEveryOffset cuts a valid FXP2
+// snapshot at every possible length: no prefix may load. Regression
+// test for the loader trusting section length prefixes — a length
+// pointing past the remaining bytes used to surface as a silent short
+// read, and a snapshot cut between sections decoded
+// cleanly with missing data.
+func TestIndexedSnapshotRejectsTruncationAtEveryOffset(t *testing.T) {
+	doc, err := LoadString(articlesXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := doc.SaveIndexedSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for n := 0; n < len(data); n++ {
+		if _, err := LoadIndexedSnapshot(bytes.NewReader(data[:n])); err == nil {
+			t.Fatalf("truncation to %d/%d bytes loaded", n, len(data))
+		}
+	}
+	// File loads see the same rejection, with the path in the error.
+	path := filepath.Join(t.TempDir(), "cut.fxp2")
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIndexedSnapshotFile(path); err == nil {
+		t.Fatal("truncated snapshot file loaded")
+	} else if !strings.Contains(err.Error(), "cut.fxp2") {
+		t.Errorf("error does not name the file: %v", err)
+	}
+}
+
+// A section length prefix that lies beyond the file must be rejected up
+// front (ErrCorruptSnapshot), not discovered as a short read.
+func TestIndexedSnapshotRejectsLyingSectionLength(t *testing.T) {
+	doc, err := LoadString(articlesXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := doc.SaveIndexedSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The first section's uvarint length starts right after the 4-byte
+	// magic. 0xff 0xff 0xff 0xff 0x7f declares a ~2^35-byte section: far
+	// beyond the file, so a file load (which knows the total size) must
+	// reject the declaration before parsing a single tree byte.
+	lied := append([]byte{}, data[:4]...)
+	lied = append(lied, 0xff, 0xff, 0xff, 0xff, 0x7f)
+	lied = append(lied, data[5:]...)
+	path := filepath.Join(t.TempDir(), "lied.fxp2")
+	if err := os.WriteFile(path, lied, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = nil
+	if _, err = LoadIndexedSnapshotFile(path); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("err = %v, want ErrCorruptSnapshot", err)
+	}
+	if !strings.Contains(err.Error(), "remaining") {
+		t.Errorf("lying length not rejected up front: %v", err)
+	}
+	// Stream loads can't know the total, but a declaration beyond any
+	// plausible section size is still rejected before buffering.
+	absurd := append([]byte{}, data[:4]...)
+	absurd = append(absurd, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)
+	if _, err := LoadIndexedSnapshot(bytes.NewReader(absurd)); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("absurd length: err = %v, want ErrCorruptSnapshot", err)
+	}
+}
+
 func TestIndexedSnapshotBM25Preserved(t *testing.T) {
 	doc, err := LoadWithOptions(strings.NewReader(articlesXML), DocumentOptions{BM25: true})
 	if err != nil {
